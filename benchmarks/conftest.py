@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's exhibits (or an ablation)
+and asserts its key shape property, so ``pytest benchmarks/
+--benchmark-only`` doubles as the reproduction's acceptance run.
+"""

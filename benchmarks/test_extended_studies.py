@@ -1,0 +1,20 @@
+"""Benchmarks: line-size traffic and bandwidth-demand studies."""
+
+from repro.harness import bandwidth_study, linesize_traffic
+
+
+def test_linesize_traffic_study(benchmark):
+    rows = benchmark(linesize_traffic.generate)
+    assert linesize_traffic.platform_line_size(rows) == 256
+
+
+def test_bandwidth_demand_study(benchmark):
+    rows = benchmark(bandwidth_study.generate)
+    by_key = {(r.workload, r.cmp_name): r for r in rows}
+    # Per-core demand scales with core count for the private-heavy pair.
+    assert (
+        by_key[("SHOT", "LCMP")].demand_gb_per_s
+        > by_key[("SHOT", "SCMP")].demand_gb_per_s
+    )
+    # MDS saturates the modelled bus at 32 cores.
+    assert by_key[("MDS", "LCMP")].bus_utilization == 1.0

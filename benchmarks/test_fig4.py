@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 4 (LLC MPKI vs cache size, SCMP).
+
+Shape assertions: MDS flat, SHOT's working-set knee at the
+SCMP-specific size, monotone non-increasing curves.
+"""
+
+from repro.harness import fig4
+from repro.units import MB
+
+
+def test_fig4_regeneration(benchmark):
+    figure = benchmark(fig4.generate)
+    assert len(figure.series) == 8
+    # MDS never benefits: its 300MB matrix exceeds every simulated size.
+    mds = figure.series["MDS"]
+    assert min(mds) > 0.75 * max(mds)
+    # SHOT's private working set: ~4MB x 8 cores.
+    assert figure.knees["SHOT"] == 32 * MB
+    for name, values in figure.series.items():
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:])), name

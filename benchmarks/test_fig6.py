@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 6 (LLC MPKI vs cache size, LCMP).
+
+Shape assertions: MDS flat, SHOT's working-set knee at the
+LCMP-specific size, monotone non-increasing curves.
+"""
+
+from repro.harness import fig6
+from repro.units import MB
+
+
+def test_fig6_regeneration(benchmark):
+    figure = benchmark(fig6.generate)
+    assert len(figure.series) == 8
+    # MDS never benefits: its 300MB matrix exceeds every simulated size.
+    mds = figure.series["MDS"]
+    assert min(mds) > 0.75 * max(mds)
+    # SHOT's private working set: ~4MB x 32 cores.
+    assert figure.knees["SHOT"] == 128 * MB
+    for name, values in figure.series.items():
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:])), name

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 7 (line-size sensitivity, 32 MB LCMP).
+
+Shape assertions: responders (SHOT/MDS/SNP/SVM-RFE) get near-linear
+64B→256B reductions, the rest modest ones, and everyone improves.
+"""
+
+from repro.harness import fig7
+from repro.workloads.profiles import LINE_RESPONDERS, WORKLOAD_NAMES
+
+
+def test_fig7_regeneration(benchmark):
+    figure = benchmark(fig7.generate)
+    factors = fig7.reduction_factors(figure)
+    for name in LINE_RESPONDERS:
+        assert factors[name] > 2.5, name
+    for name in set(WORKLOAD_NAMES) - set(LINE_RESPONDERS):
+        assert 1.0 < factors[name] < 2.5, name
+    for name, values in figure.series.items():
+        assert values[2] < values[0], name  # 256B beats 64B everywhere

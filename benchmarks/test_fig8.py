@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 8 (hardware-prefetch gains).
+
+Shape assertions: all gains positive, the paper's serial-vs-parallel
+split (SNP/MDS serial winners, the rest parallel winners), and a
+maximum gain near the paper's "up to 33%".
+"""
+
+from repro.harness import fig8
+from repro.workloads.profiles import PREFETCH_PARALLEL_WINNERS, PREFETCH_SERIAL_WINNERS
+
+
+def test_fig8_regeneration(benchmark):
+    rows = benchmark(fig8.generate)
+    by_name = {r.workload: r for r in rows}
+    for row in rows:
+        assert row.serial.speedup_percent > 0
+        assert row.parallel.speedup_percent > 0
+    for name in PREFETCH_PARALLEL_WINNERS:
+        assert by_name[name].parallel_wins, name
+    for name in PREFETCH_SERIAL_WINNERS:
+        assert not by_name[name].parallel_wins, name
+    best = max(
+        max(r.serial.speedup_percent, r.parallel.speedup_percent) for r in rows
+    )
+    assert 25.0 < best < 45.0

@@ -1,0 +1,18 @@
+"""Benchmark: the shared-versus-private LLC organization study.
+
+Extension of the paper's related-work comparisons (PHA$E's shared vs
+private L3): shape assertions follow the workload taxonomy — shared
+organizations win for shared-dominant (category A) workloads, private
+slices win for private-dominant (category C) ones at matched capacity.
+"""
+
+from repro.cache.organizations import organization_study
+from repro.units import MB
+
+
+def test_organization_study(benchmark):
+    study = benchmark(organization_study, 64 * MB, 8)
+    by_name = {c.workload: c for c in study}
+    assert not by_name["SNP"].private_wins
+    assert not by_name["MDS"].private_wins
+    assert by_name["SHOT"].private_mpki <= by_name["SHOT"].shared_mpki + 0.01

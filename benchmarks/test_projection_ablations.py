@@ -1,0 +1,34 @@
+"""Benchmarks: the 128-core projection and the ablation suite.
+
+The projection bench asserts the paper's "5 of the 8 workloads will
+benefit from a large DRAM cache" claim; the ablation bench asserts that
+each modelled design choice has its documented effect.
+"""
+
+from repro.harness import projection
+from repro.harness.ablations import (
+    replacement_policy_ablation,
+    slice_rule_ablation,
+    smoothing_ablation,
+)
+
+
+def test_projection_regeneration(benchmark):
+    rows = benchmark(projection.generate)
+    beneficiaries = {r.workload for r in rows if r.dram_candidate}
+    assert beneficiaries == set(projection.PAPER_DRAM_BENEFICIARIES)
+
+
+def test_model_ablations(benchmark):
+    def run():
+        return (
+            replacement_policy_ablation(accesses=20_000),
+            smoothing_ablation(),
+            slice_rule_ablation(),
+        )
+
+    policies, smoothing, slice_rule = benchmark(run)
+    assert len(policies) == 4
+    assert all(1.0 < s.jump_ratio < 2.5 for s in smoothing)
+    off, on = slice_rule
+    assert off.mpki_4mb_32c > on.mpki_4mb_32c

@@ -1,0 +1,37 @@
+"""Benchmark: exact versus SHARDS-sampled stack-distance analysis.
+
+Quantifies the speedup that makes sampled analysis worth shipping, and
+asserts the estimate stays within tolerance of the exact MPKI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.reuse.model import exact_miss_count
+from repro.reuse.sampling import sampled_mpki
+from repro.reuse.olken import stack_distances, miss_count
+from repro.trace.generators import Region, uniform_random
+from repro.units import KB, MB
+
+TRACE = uniform_random(
+    Region(0, 1 * MB), count=60_000, granule=64, rng=np.random.default_rng(101)
+)
+INSTRUCTIONS = 2 * len(TRACE)
+CACHE = 256 * KB
+
+
+def test_exact_stack_distance_analysis(benchmark):
+    def run():
+        distances = stack_distances(TRACE, 64)
+        return miss_count(distances, CACHE // 64)
+
+    misses = benchmark(run)
+    assert misses > 0
+
+
+def test_sampled_stack_distance_analysis(benchmark):
+    estimate = benchmark(
+        sampled_mpki, TRACE, INSTRUCTIONS, CACHE, 0.1
+    )
+    exact = exact_miss_count(TRACE, CACHE) / INSTRUCTIONS * 1000
+    assert estimate == pytest.approx(exact, rel=0.15)

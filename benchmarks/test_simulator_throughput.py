@@ -1,0 +1,69 @@
+"""Benchmarks: raw throughput of the simulation substrates.
+
+Not a paper exhibit — these measure the engine itself (cache simulation
+rate, stack-distance analysis rate, co-simulation end-to-end rate), the
+numbers a user sizing an experiment needs.
+"""
+
+import numpy as np
+
+from repro.cache.cache import CacheConfig, FullyAssociativeLRU, SetAssociativeCache
+from repro.cache.emulator import DragonheadConfig
+from repro.core.cosim import CoSimPlatform
+from repro.core.softsdv import GuestWorkload
+from repro.reuse.olken import stack_distances
+from repro.trace.generators import Region, cyclic_scan, uniform_random
+from repro.trace.stream import chunk_stream
+from repro.units import KB, MB
+
+TRACE = uniform_random(
+    Region(0, 8 * MB), count=50_000, rng=np.random.default_rng(99)
+)
+
+
+def test_set_associative_cache_throughput(benchmark):
+    def run():
+        cache = SetAssociativeCache(CacheConfig(size=1 * MB, associativity=16))
+        cache.access_chunk(TRACE)
+        return cache.stats.misses
+
+    misses = benchmark(run)
+    assert misses > 0
+
+
+def test_fully_associative_lru_throughput(benchmark):
+    def run():
+        cache = FullyAssociativeLRU(capacity_lines=16384)
+        cache.access_chunk(TRACE)
+        return cache.stats.misses
+
+    misses = benchmark(run)
+    assert misses > 0
+
+
+def test_stack_distance_throughput(benchmark):
+    distances = benchmark(stack_distances, TRACE[:20000], 64)
+    assert len(distances) == 20000
+
+
+def test_cosim_end_to_end_throughput(benchmark):
+    def thread_streams(n):
+        return [
+            chunk_stream(
+                cyclic_scan(
+                    Region(0x1000_0000 + i * 0x100_0000, 256 * KB),
+                    passes=2,
+                    stride=64,
+                )
+            )
+            for i in range(n)
+        ]
+
+    guest = GuestWorkload("bench", thread_streams)
+
+    def run():
+        platform = CoSimPlatform(DragonheadConfig(cache_size=1 * MB))
+        return platform.run(guest, cores=4)
+
+    result = benchmark(run)
+    assert result.accesses == 4 * 4096 * 2

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 2 (workload characteristics).
+
+Shape assertions: model-vs-paper MPKI within tolerance and the IPC
+ordering (MDS slowest, PLSA fastest).
+"""
+
+import pytest
+
+from repro.harness import table2
+
+
+def test_table2_regeneration(benchmark):
+    rows = benchmark(table2.generate)
+    assert len(rows) == 8
+    by_name = {r.workload: r for r in rows}
+    for row in rows:
+        assert row.dl1_mpki_model == pytest.approx(row.dl1_mpki_paper, rel=0.15)
+        assert row.dl2_mpki_model == pytest.approx(row.dl2_mpki_paper, rel=0.25)
+        assert row.ipc_model == pytest.approx(row.ipc_paper, rel=0.10)
+    ipcs = {name: r.ipc_model for name, r in by_name.items()}
+    assert min(ipcs, key=ipcs.get) == "MDS"
+    assert max(ipcs, key=ipcs.get) == "PLSA"

@@ -1,0 +1,75 @@
+"""Video mining end to end: SHOT + VIEWTYPE with memory characterization.
+
+Runs the two video workloads of Section 2.6 on one synthetic broadcast:
+
+1. shot-boundary detection (48-bin RGB histograms + pixel difference),
+   compared against the video's ground truth;
+2. view-type classification (HSV dominant-color playfield segmentation),
+   compared per shot;
+3. memory characterization of the instrumented SHOT kernel: footprint,
+   stride spectrum, and how much a stride prefetcher covers — the
+   Section 4.4 story on real kernel traces.
+
+Run:  python examples/video_mining.py
+"""
+
+import collections
+
+from repro.cache.cache import CacheConfig, SetAssociativeCache
+from repro.cache.prefetch import PrefetchingCache, StridePrefetcher
+from repro.mining.datasets import synthetic_video
+from repro.mining.video import classify_video_views, detect_shots, traced_shot_kernel
+from repro.trace.instrument import MemoryArena, TraceRecorder
+from repro.trace.stats import dominant_stride_fraction, profile_trace
+from repro.units import KB, format_size
+
+
+def main() -> None:
+    video = synthetic_video(n_frames=80, height=36, width=48, seed=42)
+    print(f"Synthetic broadcast: {len(video.frames)} frames, "
+          f"{len(video.shot_boundaries)} shots")
+
+    detected = detect_shots(video.frames)
+    truth = set(video.shot_boundaries)
+    hits = truth & set(detected)
+    print(f"SHOT: detected {detected}")
+    print(f"      recall {len(hits)}/{len(truth)}, "
+          f"false positives {len(set(detected) - truth)}")
+
+    views = classify_video_views(video.frames)
+    bounds = video.shot_boundaries + [len(video.frames)]
+    correct = 0
+    for i, expected in enumerate(video.view_types):
+        window = views[bounds[i] : bounds[i + 1]]
+        majority = collections.Counter(window).most_common(1)[0][0]
+        correct += majority == expected
+    print(f"VIEWTYPE: {correct}/{len(video.view_types)} shots classified correctly")
+    print()
+
+    # Memory characterization of the instrumented kernel.
+    recorder = TraceRecorder()
+    traced_shot_kernel(recorder, MemoryArena(), n_frames=24, height=24, width=32)
+    trace = recorder.trace()
+    profile = profile_trace(trace)
+    print("SHOT kernel memory profile (instrumented run):")
+    print(f"  accesses        : {profile.accesses:,}")
+    print(f"  footprint       : {format_size(profile.footprint_bytes)}")
+    print(f"  read fraction   : {profile.read_fraction:.2f}")
+    print(f"  constant-stride : {dominant_stride_fraction(trace):.2f} of transitions")
+
+    plain = SetAssociativeCache(CacheConfig.fully_associative(8 * KB))
+    plain.access_chunk(trace)
+    prefetching = PrefetchingCache(
+        SetAssociativeCache(CacheConfig.fully_associative(8 * KB)),
+        StridePrefetcher(degree=4),
+    )
+    prefetching.access_chunk(trace)
+    saved = plain.stats.misses - prefetching.cache.stats.misses
+    print(f"  8KB cache misses: {plain.stats.misses:,} -> "
+          f"{prefetching.cache.stats.misses:,} with stride prefetch "
+          f"({100 * saved / plain.stats.misses:.0f}% covered — the streaming "
+          f"pattern the paper credits for Figure 8's gains)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""repro: hardware-software co-simulation of data-mining memory behaviour.
+
+A from-scratch reproduction of *Understanding the Memory Performance of
+Data-Mining Workloads on Small, Medium, and Large-Scale CMPs Using
+Hardware-Software Co-simulation* (ISPASS 2007): the Dragonhead cache
+emulator, the SoftSDV/DEX full-system-simulation facade, the FSB
+message protocol joining them, eight instrumented data-mining workloads
+with calibrated paper-scale memory models, and a harness regenerating
+every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import CoSimPlatform, DragonheadConfig, MB
+    from repro.workloads import get_workload
+
+    fimi = get_workload("FIMI")
+    platform = CoSimPlatform(DragonheadConfig(cache_size=4 * MB))
+    result = platform.run(fimi.guest_workload(scale=0.02), cores=4)
+    print(f"LLC MPKI = {result.mpki:.2f}")
+"""
+
+from repro.units import KB, MB, GB, PAPER_CACHE_SWEEP, PAPER_LINE_SWEEP, format_size
+from repro.errors import (
+    CalibrationError,
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    TraceError,
+)
+from repro.cache import (
+    CacheConfig,
+    CacheHierarchy,
+    CacheStats,
+    DragonheadConfig,
+    DragonheadEmulator,
+    FullyAssociativeLRU,
+    HierarchyConfig,
+    PrefetchingCache,
+    SetAssociativeCache,
+    StridePrefetcher,
+)
+from repro.core import (
+    CMPConfig,
+    CoSimPlatform,
+    CoSimResult,
+    DEXScheduler,
+    FrontSideBus,
+    GuestWorkload,
+    LCMP,
+    MCMP,
+    Message,
+    MessageCodec,
+    MessageKind,
+    SCMP,
+    SoftSDV,
+    VirtualCore,
+)
+from repro.reuse import ReuseProfile, mpki_at, mpki_curve, stack_distances
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "PAPER_CACHE_SWEEP",
+    "PAPER_LINE_SWEEP",
+    "format_size",
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolError",
+    "TraceError",
+    "CalibrationError",
+    "CacheConfig",
+    "SetAssociativeCache",
+    "FullyAssociativeLRU",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "CacheStats",
+    "StridePrefetcher",
+    "PrefetchingCache",
+    "DragonheadConfig",
+    "DragonheadEmulator",
+    "Message",
+    "MessageKind",
+    "MessageCodec",
+    "FrontSideBus",
+    "DEXScheduler",
+    "VirtualCore",
+    "SoftSDV",
+    "GuestWorkload",
+    "CoSimPlatform",
+    "CoSimResult",
+    "CMPConfig",
+    "SCMP",
+    "MCMP",
+    "LCMP",
+    "ReuseProfile",
+    "stack_distances",
+    "mpki_at",
+    "mpki_curve",
+    "__version__",
+]

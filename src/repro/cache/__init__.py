@@ -1,0 +1,29 @@
+"""Cache-modelling substrate (the software Dragonhead).
+
+:mod:`repro.cache.cache` implements a configurable set-associative cache
+with pluggable replacement (:mod:`repro.cache.replacement`);
+:mod:`repro.cache.hierarchy` composes per-core L1s with a shared LLC;
+:mod:`repro.cache.coherence` adds an invalidation-based MESI layer;
+:mod:`repro.cache.prefetch` implements a stride prefetcher; and
+:mod:`repro.cache.emulator` models the Dragonhead FPGA cache emulator
+(address filter, four banked cache controllers, stat collection board).
+"""
+
+from repro.cache.cache import CacheConfig, SetAssociativeCache, FullyAssociativeLRU
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cache.prefetch import StridePrefetcher, PrefetchingCache
+from repro.cache.emulator import DragonheadConfig, DragonheadEmulator
+from repro.cache.stats import CacheStats
+
+__all__ = [
+    "CacheConfig",
+    "SetAssociativeCache",
+    "FullyAssociativeLRU",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "StridePrefetcher",
+    "PrefetchingCache",
+    "DragonheadConfig",
+    "DragonheadEmulator",
+    "CacheStats",
+]

@@ -1,0 +1,192 @@
+"""MESI invalidation-based coherence for private L1 caches.
+
+The co-simulation host is a dual-processor system with private caches in
+front of the snooped front-side bus; the paper's shared-LLC emulator
+sits behind them.  This module supplies that substrate: N private
+caches kept coherent by a snooping MESI protocol over a logical bus,
+with the post-coherence miss traffic forwarded to a shared LLC.
+
+States per (cache, line): Modified, Exclusive, Shared, Invalid.
+Transitions follow the textbook protocol:
+
+* read miss → E if no other sharer, S otherwise (sharers in M flush and
+  drop to S);
+* write hit in S → upgrade (invalidate other sharers);
+* write miss → M (invalidate everyone else, M sharer flushes first).
+
+The protocol layer counts invalidations, upgrades, and interventions —
+the sharing-behaviour metrics one would use to separate the paper's
+category-A (shared-data) workloads from category-C (private-data) ones.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cache.cache import CacheConfig, SetAssociativeCache
+from repro.errors import ConfigurationError
+from repro.trace.record import AccessKind, TraceChunk
+
+
+class MESIState(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass(slots=True)
+class CoherenceStats:
+    """Protocol event counters."""
+
+    read_misses: int = 0
+    write_misses: int = 0
+    upgrades: int = 0
+    invalidations_sent: int = 0
+    interventions: int = 0  # dirty lines supplied by a peer cache
+    writebacks: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+
+class CoherentCacheSystem:
+    """N private MESI caches over a snooping bus, backed by a shared LLC."""
+
+    def __init__(
+        self,
+        private_config: CacheConfig,
+        cores: int,
+        llc_config: CacheConfig | None = None,
+    ) -> None:
+        if cores <= 0:
+            raise ConfigurationError(f"cores must be positive, got {cores}")
+        self.cores = cores
+        self.caches = [SetAssociativeCache(private_config) for _ in range(cores)]
+        self.llc = SetAssociativeCache(llc_config) if llc_config else None
+        self.stats = CoherenceStats()
+        self._line_shift = private_config.line_size.bit_length() - 1
+        # line -> {core: state}; only non-invalid entries are stored.
+        self._states: dict[int, dict[int, MESIState]] = {}
+
+    # -- state inspection -------------------------------------------------
+
+    def state(self, core: int, address: int) -> MESIState:
+        """Current MESI state of ``address``'s line in ``core``'s cache."""
+        line = address >> self._line_shift
+        return self._states.get(line, {}).get(core, MESIState.INVALID)
+
+    def sharers(self, address: int) -> list[int]:
+        """Cores holding the line in any valid state."""
+        line = address >> self._line_shift
+        return sorted(self._states.get(line, {}))
+
+    # -- protocol ----------------------------------------------------------
+
+    def _evict_if_needed(self, core: int, line: int) -> None:
+        """Keep the directory consistent with the cache's own eviction."""
+        holders = self._states.get(line)
+        if holders and core in holders:
+            if holders[core] is MESIState.MODIFIED:
+                self.stats.writebacks += 1
+            del holders[core]
+            if not holders:
+                del self._states[line]
+
+    def access(self, core: int, address: int, kind: AccessKind) -> bool:
+        """Issue an access; returns True when it hit in the private cache."""
+        if not 0 <= core < self.cores:
+            raise ConfigurationError(f"core {core} out of range")
+        line = address >> self._line_shift
+        holders = self._states.setdefault(line, {})
+        my_state = holders.get(core, MESIState.INVALID)
+        cache = self.caches[core]
+
+        if kind == AccessKind.READ:
+            if my_state is not MESIState.INVALID:
+                cache.access_line(line, kind, core)
+                return True
+            # Read miss: other M holder intervenes and both become S.
+            self.stats.read_misses += 1
+            others = [c for c in holders if c != core]
+            if others:
+                for other in others:
+                    if holders[other] is MESIState.MODIFIED:
+                        self.stats.interventions += 1
+                        self.stats.writebacks += 1
+                    holders[other] = MESIState.SHARED
+                holders[core] = MESIState.SHARED
+            else:
+                holders[core] = MESIState.EXCLUSIVE
+            self._install(core, line, kind)
+            return False
+
+        # WRITE
+        if my_state in (MESIState.MODIFIED, MESIState.EXCLUSIVE):
+            holders[core] = MESIState.MODIFIED
+            cache.access_line(line, kind, core)
+            return True
+        if my_state is MESIState.SHARED:
+            # Upgrade: invalidate the other sharers, no data transfer.
+            self.stats.upgrades += 1
+            for other in [c for c in holders if c != core]:
+                self._invalidate_peer(other, line, holders)
+            holders[core] = MESIState.MODIFIED
+            cache.access_line(line, kind, core)
+            return True
+        # Write miss: invalidate everyone, take M.
+        self.stats.write_misses += 1
+        for other in [c for c in holders if c != core]:
+            if holders[other] is MESIState.MODIFIED:
+                self.stats.interventions += 1
+                self.stats.writebacks += 1
+            self._invalidate_peer(other, line, holders)
+        holders[core] = MESIState.MODIFIED
+        self._install(core, line, kind)
+        return False
+
+    def _invalidate_peer(self, core: int, line: int, holders: dict[int, MESIState]) -> None:
+        self.stats.invalidations_sent += 1
+        del holders[core]
+        self.caches[core].invalidate(line << self._line_shift)
+
+    def _install(self, core: int, line: int, kind: AccessKind) -> None:
+        """Fill the private cache and forward the miss to the shared LLC."""
+        cache = self.caches[core]
+        # The fill may evict a victim line; reconcile directory state.
+        set_index = line & cache._set_mask
+        policy = cache._policy
+        resident_before = None
+        if hasattr(policy, "resident_tags"):
+            tags = policy.resident_tags(set_index)
+            if len(tags) == cache.config.associativity and line not in tags:
+                resident_before = tags[0]  # LRU victim
+        cache.access_line(line, kind, core)
+        if resident_before is not None:
+            self._evict_if_needed(core, resident_before)
+        if self.llc is not None:
+            self.llc.access_line(line, kind, core)
+
+    def access_chunk(self, chunk: TraceChunk) -> None:
+        """Process a core-tagged trace through the coherent system."""
+        addresses = chunk.addresses
+        kinds = chunk.kinds
+        cores = chunk.cores
+        for i in range(len(chunk)):
+            self.access(int(cores[i]), int(addresses[i]), AccessKind(int(kinds[i])))
+
+    # -- invariants (used by property tests) -------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the MESI single-writer/multiple-reader invariants."""
+        for line, holders in self._states.items():
+            states = list(holders.values())
+            m_or_e = [s for s in states if s in (MESIState.MODIFIED, MESIState.EXCLUSIVE)]
+            if m_or_e and len(states) > 1:
+                raise AssertionError(
+                    f"line {line:#x}: M/E coexists with other sharers: {holders}"
+                )
+            if states.count(MESIState.MODIFIED) > 1:
+                raise AssertionError(f"line {line:#x}: multiple writers: {holders}")

@@ -1,0 +1,132 @@
+"""A DRAM-cache device model with row-buffer timing.
+
+The paper's conclusion recommends "alternative cache organizations
+using DRAM (e.g. embedded DRAM, off-die DRAM caches, or 3D
+die-stacking)" and finds that "a 256-byte line size is sufficient for
+large DRAM caches".  :mod:`repro.perf.dramcache` settles the
+capacity-versus-latency question analytically; this module models the
+*device*: a set-associative DRAM cache whose access latency depends on
+row-buffer state, the property that makes large lines and streaming
+access patterns so friendly to DRAM caches.
+
+Model: the cache's data array is banked DRAM; each bank keeps one row
+open.  An access to the open row costs ``row_hit_latency``; to a closed
+or different row, ``row_conflict_latency`` (precharge + activate +
+access).  Content misses pay ``memory_latency`` and install the line
+(opening its row).  Tags are assumed in fast SRAM (``tag_latency``),
+the common design point for stacked caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.cache import CacheConfig, SetAssociativeCache
+from repro.errors import ConfigurationError
+from repro.trace.record import AccessKind, TraceChunk
+from repro.units import MB, is_power_of_two
+
+
+@dataclass(frozen=True, slots=True)
+class DramCacheConfig:
+    """Geometry and timing of the DRAM cache device."""
+
+    capacity: int = 128 * MB
+    line_size: int = 256  # the paper's DRAM-cache sweet spot
+    associativity: int = 16
+    banks: int = 8
+    row_bytes: int = 8192
+    tag_latency: float = 6.0
+    row_hit_latency: float = 18.0
+    row_conflict_latency: float = 46.0
+    memory_latency: float = 400.0
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.banks) or not is_power_of_two(self.row_bytes):
+            raise ConfigurationError("banks and row_bytes must be powers of two")
+        if self.row_bytes < self.line_size:
+            raise ConfigurationError(
+                f"row ({self.row_bytes}B) must hold at least one line "
+                f"({self.line_size}B)"
+            )
+
+    def cache_config(self) -> CacheConfig:
+        return CacheConfig(
+            size=self.capacity,
+            line_size=self.line_size,
+            associativity=self.associativity,
+            name="DRAM$",
+        )
+
+
+@dataclass(slots=True)
+class DramCacheStats:
+    """Content and row-buffer outcome counters."""
+
+    accesses: int = 0
+    content_hits: int = 0
+    row_hits: int = 0
+    row_conflicts: int = 0
+    total_latency: float = 0.0
+
+    @property
+    def content_hit_ratio(self) -> float:
+        return self.content_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def row_hit_ratio(self) -> float:
+        probes = self.row_hits + self.row_conflicts
+        return self.row_hits / probes if probes else 0.0
+
+    @property
+    def average_latency(self) -> float:
+        return self.total_latency / self.accesses if self.accesses else 0.0
+
+
+class DramCacheSim:
+    """Set-associative DRAM cache with per-bank open-row state."""
+
+    def __init__(self, config: DramCacheConfig) -> None:
+        self.config = config
+        self.contents = SetAssociativeCache(config.cache_config())
+        self.stats = DramCacheStats()
+        self._open_rows: dict[int, int] = {}  # bank -> open row id
+        self._bank_mask = config.banks - 1
+        self._row_shift = config.row_bytes.bit_length() - 1
+
+    def _bank_and_row(self, address: int) -> tuple[int, int]:
+        row = address >> self._row_shift
+        return row & self._bank_mask, row
+
+    def _probe_row(self, address: int) -> float:
+        """Row-buffer latency for touching the data array at ``address``."""
+        bank, row = self._bank_and_row(address)
+        if self._open_rows.get(bank) == row:
+            self.stats.row_hits += 1
+            return self.config.row_hit_latency
+        self._open_rows[bank] = row
+        self.stats.row_conflicts += 1
+        return self.config.row_conflict_latency
+
+    def access(self, address: int, kind: AccessKind = AccessKind.READ, core: int = 0) -> float:
+        """Access the DRAM cache; returns the latency in cycles."""
+        self.stats.accesses += 1
+        latency = self.config.tag_latency
+        hit = self.contents.access(address, kind, core)
+        if hit:
+            self.stats.content_hits += 1
+            latency += self._probe_row(address)
+        else:
+            # Miss: fetch from memory and install (fill touches the row).
+            latency += self.config.memory_latency
+            latency += self._probe_row(address)
+        self.stats.total_latency += latency
+        return latency
+
+    def access_chunk(self, chunk: TraceChunk) -> DramCacheStats:
+        addresses = chunk.addresses
+        kinds = chunk.kinds
+        cores = chunk.cores
+        for i in range(len(chunk)):
+            self.access(int(addresses[i]), AccessKind(int(kinds[i])), int(cores[i]))
+        return self.stats

@@ -1,0 +1,289 @@
+"""Software model of the Dragonhead FPGA cache emulator.
+
+Figure 1 of the paper: Dragonhead has six FPGAs — **AF** receives FSB
+transactions from the logic analyzer interface and regulates them,
+**CC0–CC3** are four cache controllers that process requests and
+generate performance data, and **CB** configures the others and collects
+statistics, which a host computer reads every 500 µs.
+
+The model preserves that architecture:
+
+* :class:`AddressFilter` decodes protocol messages, maintains the
+  emulation window (start/stop), the current core id, and the retired-
+  instruction / cycle counters, and drops traffic outside the window
+  (the paper: "the SoftSDV code and the host OS will also execute
+  during the simulation, and by restricting the emulation to the window
+  between start and stop, these accesses are excluded").
+* :class:`CacheControllerBank` is one CC FPGA: a slice of the shared
+  LLC selected by low line-number bits, so the four controllers share
+  the load the way address-interleaved hardware banks do.
+* :class:`ControlBoard` aggregates bank counters and exposes the
+  ``read_performance_data`` the host polls.
+
+Configuration limits mirror the hardware: cache sizes 1 MB–256 MB, line
+sizes 64 B–4096 B, LRU replacement (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.cache import CacheConfig, SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.protocol import Message, MessageCodec, MessageKind
+from repro.cache.sampling import WindowSample, WindowSampler
+from repro.errors import ConfigurationError, ProtocolError
+from repro.trace.record import AccessKind, TraceChunk
+from repro.units import (
+    DRAGONHEAD_MAX_CACHE,
+    DRAGONHEAD_MAX_LINE,
+    DRAGONHEAD_MIN_CACHE,
+    DRAGONHEAD_MIN_LINE,
+    format_size,
+    is_power_of_two,
+)
+
+#: Dragonhead has four cache-controller FPGAs (CC0..CC3).
+NUM_BANKS = 4
+
+
+@dataclass(frozen=True, slots=True)
+class DragonheadConfig:
+    """Emulated shared-LLC configuration, within the hardware envelope."""
+
+    cache_size: int
+    line_size: int = 64
+    associativity: int = 16
+    policy: str = "lru"
+    frequency_hz: float = 100e6  # "Dragonhead emulates a shared LLC at ... 100MHz"
+    host_read_interval_us: float = 500.0
+
+    def __post_init__(self) -> None:
+        if not DRAGONHEAD_MIN_CACHE <= self.cache_size <= DRAGONHEAD_MAX_CACHE:
+            raise ConfigurationError(
+                f"Dragonhead supports cache sizes {format_size(DRAGONHEAD_MIN_CACHE)}"
+                f"-{format_size(DRAGONHEAD_MAX_CACHE)}, got {format_size(self.cache_size)}"
+            )
+        if not DRAGONHEAD_MIN_LINE <= self.line_size <= DRAGONHEAD_MAX_LINE:
+            raise ConfigurationError(
+                f"Dragonhead supports line sizes {DRAGONHEAD_MIN_LINE}B-"
+                f"{DRAGONHEAD_MAX_LINE}B, got {self.line_size}B"
+            )
+        if not is_power_of_two(self.line_size) or not is_power_of_two(self.cache_size):
+            raise ConfigurationError("cache and line sizes must be powers of two")
+        if self.cache_size % NUM_BANKS:
+            raise ConfigurationError("cache size must divide across the four CC banks")
+
+    def bank_config(self, bank: int) -> CacheConfig:
+        """Geometry of one CC bank (a quarter of the LLC)."""
+        bank_size = self.cache_size // NUM_BANKS
+        assoc = self.associativity
+        while bank_size % (self.line_size * assoc) or not is_power_of_two(
+            bank_size // (self.line_size * assoc)
+        ):
+            assoc //= 2
+            if assoc == 0:
+                raise ConfigurationError(
+                    f"no legal bank geometry for {format_size(self.cache_size)} / "
+                    f"{self.line_size}B lines"
+                )
+        return CacheConfig(
+            size=bank_size,
+            line_size=self.line_size,
+            associativity=assoc,
+            policy=self.policy,
+            name=f"CC{bank}",
+        )
+
+
+class AddressFilter:
+    """The AF FPGA: message decode, window gating, core tagging."""
+
+    def __init__(self) -> None:
+        self.codec = MessageCodec()
+        self.emulating = False
+        self.current_core = 0
+        self.instructions_retired = 0
+        self.cycles_completed = 0
+        self.filtered_transactions = 0  # traffic dropped outside the window
+        self.messages_seen = 0
+
+    def handle_message(self, address: int) -> Message | None:
+        """Decode and apply one protocol message address."""
+        message = self.codec.decode(address)
+        if message is None:
+            return None
+        self.messages_seen += 1
+        kind = message.kind
+        if kind is MessageKind.START_EMULATION:
+            if self.emulating:
+                raise ProtocolError("START_EMULATION while already emulating")
+            self.emulating = True
+            # A new emulation session: the progress counters are
+            # session-relative (back-to-back runs restart from zero).
+            self.instructions_retired = 0
+            self.cycles_completed = 0
+        elif kind is MessageKind.STOP_EMULATION:
+            if not self.emulating:
+                raise ProtocolError("STOP_EMULATION while not emulating")
+            self.emulating = False
+        elif kind is MessageKind.CORE_ID:
+            self.current_core = message.payload
+        elif kind is MessageKind.INSTRUCTIONS_RETIRED:
+            if message.payload < self.instructions_retired:
+                raise ProtocolError(
+                    "instructions-retired counter moved backwards: "
+                    f"{message.payload} < {self.instructions_retired}"
+                )
+            self.instructions_retired = message.payload
+        elif kind is MessageKind.CYCLES_COMPLETED:
+            if message.payload < self.cycles_completed:
+                raise ProtocolError(
+                    "cycles-completed counter moved backwards: "
+                    f"{message.payload} < {self.cycles_completed}"
+                )
+            self.cycles_completed = message.payload
+        return message
+
+
+@dataclass
+class PerformanceData:
+    """What the host reads from the CB board."""
+
+    config: DragonheadConfig
+    stats: CacheStats
+    instructions_retired: int
+    cycles_completed: int
+    samples: list[WindowSample] = field(default_factory=list)
+    filtered_transactions: int = 0
+
+    @property
+    def mpki(self) -> float:
+        """Misses per 1000 retired instructions, the paper's metric."""
+        return self.stats.mpki(self.instructions_retired)
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.stats.miss_ratio
+
+
+class DragonheadEmulator:
+    """The full emulator: AF in front of four CC banks, CB collecting.
+
+    Attach to a :class:`~repro.core.fsb.FrontSideBus` as a snooper, or
+    feed it trace chunks directly via :meth:`snoop_chunk`.
+    """
+
+    def __init__(self, config: DragonheadConfig) -> None:
+        self.config = config
+        self.af = AddressFilter()
+        self.banks = [
+            SetAssociativeCache(config.bank_config(bank)) for bank in range(NUM_BANKS)
+        ]
+        self.sampler = WindowSampler(
+            frequency_hz=config.frequency_hz,
+            interval_us=config.host_read_interval_us,
+        )
+        self._line_shift = config.line_size.bit_length() - 1
+
+    # -- snooping -------------------------------------------------------
+
+    def snoop(self, transaction) -> None:
+        """Observe one bus transaction (message or data)."""
+        address = transaction.address
+        if MessageCodec.is_message(address):
+            self._apply_message(address)
+            return
+        if not self.af.emulating:
+            self.af.filtered_transactions += 1
+            return
+        self._access(address, transaction.kind, self.af.current_core)
+
+    def snoop_chunk(self, chunk: TraceChunk) -> None:
+        """Observe a chunk of data transactions.
+
+        Chunks never span DEX slice boundaries (the scheduler emits
+        CORE_ID messages between slices), so the AF's current core id
+        applies to the whole chunk.
+        """
+        if not self.af.emulating:
+            self.af.filtered_transactions += len(chunk)
+            return
+        core = self.af.current_core
+        lines = chunk.lines(self.config.line_size)
+        kinds = chunk.kinds
+        bank_index = (lines % np.uint64(NUM_BANKS)).astype(np.uint8)
+        read_kind = int(AccessKind.READ)
+        for b in range(NUM_BANKS):
+            mask = bank_index == b
+            if not mask.any():
+                continue
+            bank = self.banks[b]
+            bank_lines = lines[mask] >> np.uint64(2)
+            bank_kinds = kinds[mask]
+            stats = bank.stats
+            policy = bank._policy
+            set_mask = bank._set_mask
+            for i in range(len(bank_lines)):
+                line = int(bank_lines[i])
+                hit, evicted = policy.lookup(line & set_mask, line)
+                if evicted is not None:
+                    stats.evictions += 1
+                stats.note_access(core, int(bank_kinds[i]) == read_kind, hit)
+
+    def _access(self, address: int, kind: AccessKind, core: int) -> None:
+        line = address >> self._line_shift
+        bank = self.banks[line % NUM_BANKS]
+        bank.access_line(line >> 2, kind, core)
+
+    def _apply_message(self, address: int) -> None:
+        message = self.af.handle_message(address)
+        if message is None:
+            return
+        if message.kind is MessageKind.CYCLES_COMPLETED:
+            self.sampler.advance(
+                self.af.cycles_completed, self.af.instructions_retired, self.stats
+            )
+
+    # -- control-board interface -----------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregate counters across the four CC banks (what CB collects)."""
+        total = CacheStats()
+        for bank in self.banks:
+            total = total.merge(bank.stats)
+        return total
+
+    def read_performance_data(self) -> PerformanceData:
+        """The host's CB read: configuration, counters, window samples."""
+        self.sampler.finalize(
+            self.af.cycles_completed, self.af.instructions_retired, self.stats
+        )
+        return PerformanceData(
+            config=self.config,
+            stats=self.stats,
+            instructions_retired=self.af.instructions_retired,
+            cycles_completed=self.af.cycles_completed,
+            samples=list(self.sampler.samples),
+            filtered_transactions=self.af.filtered_transactions,
+        )
+
+    def reset_statistics(self) -> None:
+        """Clear the CB counters without flushing cache state.
+
+        The host uses this to exclude warm-up: run a prefix of the
+        workload, clear, then measure steady-state behaviour.
+        """
+        for bank in self.banks:
+            bank.reset_stats()
+        self.sampler = WindowSampler(
+            frequency_hz=self.config.frequency_hz,
+            interval_us=self.config.host_read_interval_us,
+        )
+
+    def reconfigure(self, config: DragonheadConfig) -> None:
+        """Reprogram the FPGAs with a new cache configuration."""
+        self.__init__(config)

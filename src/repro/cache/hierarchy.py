@@ -1,0 +1,184 @@
+"""Two-level cache hierarchy: private L1s feeding a shared LLC.
+
+Table 2 of the paper was gathered on a Pentium 4 with an 8 KB L1 data
+cache and a 512 KB L2; the CMP studies use per-core L1s with Dragonhead
+emulating the shared last-level cache.  This module provides the
+composition: each core owns an L1; L1 misses are forwarded to the shared
+LLC, so LLC statistics reflect the post-L1 miss stream — the same stream
+Dragonhead observes on the front-side bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.cache import CacheConfig, SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.errors import ConfigurationError
+from repro.trace.record import AccessKind, TraceChunk
+from repro.units import KB
+
+
+@dataclass(frozen=True, slots=True)
+class HierarchyConfig:
+    """Configuration of the L1 + shared LLC hierarchy.
+
+    ``l1`` is instantiated once per core; ``llc`` is shared.  L1s are
+    write-through no-write-allocate by default (writes always propagate
+    to the LLC, write misses do not allocate in L1) — the simplest
+    policy consistent with a passive bus-snooping LLC emulator seeing
+    all write traffic.
+    """
+
+    l1: CacheConfig
+    llc: CacheConfig
+    cores: int = 1
+    write_allocate_l1: bool = False
+    #: When True, L1s are write-back write-allocate: writes dirty the L1
+    #: line and reach the LLC only when the dirty line is evicted —
+    #: trading LLC write traffic for writeback bursts.  The default
+    #: write-through mode matches what a passive bus snooper observes.
+    write_back_l1: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError(f"cores must be positive, got {self.cores}")
+        if self.l1.line_size > self.llc.line_size:
+            raise ConfigurationError(
+                "L1 line size must not exceed LLC line size "
+                f"({self.l1.line_size} > {self.llc.line_size})"
+            )
+
+    @classmethod
+    def pentium4_like(cls) -> "HierarchyConfig":
+        """The Table 2 measurement machine: 8 KB L1, 512 KB L2."""
+        return cls(
+            l1=CacheConfig(size=8 * KB, line_size=64, associativity=4, name="DL1"),
+            llc=CacheConfig(size=512 * KB, line_size=64, associativity=8, name="DL2"),
+            cores=1,
+        )
+
+    @classmethod
+    def cmp(cls, cores: int, llc_size: int, llc_line: int = 64) -> "HierarchyConfig":
+        """A CMP with 32 KB per-core L1s and a shared LLC (Figures 4-7)."""
+        assoc = 16
+        # Keep geometry legal for small LLCs and very large lines.
+        while llc_size % (llc_line * assoc) or (llc_size // (llc_line * assoc)) & (
+            llc_size // (llc_line * assoc) - 1
+        ):
+            assoc //= 2
+            if assoc == 0:
+                raise ConfigurationError(
+                    f"cannot find legal associativity for size={llc_size} line={llc_line}"
+                )
+        return cls(
+            l1=CacheConfig(size=32 * KB, line_size=64, associativity=8, name="L1"),
+            llc=CacheConfig(
+                size=llc_size, line_size=llc_line, associativity=assoc, name="LLC"
+            ),
+            cores=cores,
+        )
+
+
+@dataclass(slots=True)
+class HierarchyResult:
+    """Statistics of one hierarchy run."""
+
+    l1: list[CacheStats] = field(default_factory=list)
+    llc: CacheStats = field(default_factory=CacheStats)
+    accesses: int = 0
+
+    @property
+    def l1_total(self) -> CacheStats:
+        total = CacheStats()
+        for stats in self.l1:
+            total = total.merge(stats)
+        return total
+
+
+class CacheHierarchy:
+    """Per-core L1 caches in front of one shared LLC."""
+
+    def __init__(self, config: HierarchyConfig) -> None:
+        self.config = config
+        self.l1s = [
+            SetAssociativeCache(config.l1) for _ in range(config.cores)
+        ]
+        self.llc = SetAssociativeCache(config.llc)
+        #: Dirty-line writebacks delivered to the LLC (write-back mode).
+        self.writebacks = 0
+        self._dirty: list[set[int]] = [set() for _ in range(config.cores)]
+
+    def access(self, address: int, kind: AccessKind = AccessKind.READ, core: int = 0) -> bool:
+        """Issue one access from ``core``; returns True when L1 hits."""
+        if not 0 <= core < self.config.cores:
+            raise ConfigurationError(
+                f"core {core} out of range for {self.config.cores}-core hierarchy"
+            )
+        l1 = self.l1s[core]
+        if self.config.write_back_l1:
+            return self._access_write_back(l1, address, kind, core)
+        if kind == AccessKind.WRITE and not self.config.write_allocate_l1:
+            # Write-through, no-write-allocate: update L1 only if present,
+            # and always send the write to the LLC.
+            line = address >> l1._line_shift
+            if l1.contains_line(line):
+                l1.access_line(line, kind, core)
+            else:
+                l1.stats.note_access(core, False, False)
+            self.llc.access(address, kind, core)
+            return False
+        hit = l1.access(address, kind, core)
+        if not hit:
+            self.llc.access(address, kind, core)
+        return hit
+
+    def _access_write_back(
+        self, l1: SetAssociativeCache, address: int, kind: AccessKind, core: int
+    ) -> bool:
+        """Write-back write-allocate L1: LLC sees misses and writebacks."""
+        line = address >> l1._line_shift
+        dirty = self._dirty[core]
+        # Capture the victim before the access installs the new line.
+        set_index = line & l1._set_mask
+        victim = None
+        policy = l1._policy
+        if hasattr(policy, "resident_tags") and not l1.contains_line(line):
+            tags = policy.resident_tags(set_index)
+            if len(tags) == l1.config.associativity:
+                victim = tags[0]
+        hit = l1.access_line(line, kind, core)
+        if kind == AccessKind.WRITE:
+            dirty.add(line)
+        if victim is not None and victim in dirty:
+            dirty.discard(victim)
+            self.writebacks += 1
+            self.llc.access_line(victim, AccessKind.WRITE, core)
+        if not hit:
+            self.llc.access_line(line, AccessKind.READ, core)
+        return hit
+
+    def access_chunk(self, chunk: TraceChunk) -> None:
+        """Process a core-tagged trace chunk through the hierarchy."""
+        addresses = chunk.addresses
+        kinds = chunk.kinds
+        cores = chunk.cores
+        for i in range(len(chunk)):
+            self.access(int(addresses[i]), AccessKind(int(kinds[i])), int(cores[i]))
+
+    def access_stream(self, stream) -> HierarchyResult:
+        """Drain a trace stream; returns per-level statistics."""
+        total = 0
+        for chunk in stream:
+            self.access_chunk(chunk)
+            total += len(chunk)
+        return HierarchyResult(
+            l1=[c.stats for c in self.l1s], llc=self.llc.stats, accesses=total
+        )
+
+    def result(self) -> HierarchyResult:
+        return HierarchyResult(
+            l1=[c.stats for c in self.l1s],
+            llc=self.llc.stats,
+            accesses=sum(c.stats.accesses for c in self.l1s),
+        )

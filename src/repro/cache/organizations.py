@@ -1,0 +1,106 @@
+"""Shared versus private last-level-cache organizations.
+
+The paper's related work is full of this design question — Liu et al.
+(private LLC allocation), Chishti et al. (replication/capacity trade),
+Zhang & Asanovic (victim replication), and Nurvitadhi et al.'s PHA$E
+study of "shared vs private L3 cache behavior".  The paper itself
+emulates one shared LLC; this module extends the substrate so the same
+workload models answer the shared-versus-private question:
+
+* **shared** — one LLC of capacity ``C`` serves all cores: private
+  working sets dilate into each other (the baseline everywhere else in
+  this repository);
+* **private** — each core owns ``C / cores``: private data enjoys an
+  interference-free slice, but shared structures are *replicated* into
+  every slice, wasting aggregate capacity.
+
+Both organizations are evaluated analytically from the same calibrated
+components: per-component miss rates under the organization's effective
+capacity and dilation rules.  The classic result — private wins for
+private-heavy workloads at small scale, shared wins once replication
+waste dominates — falls out of the paper's own workload taxonomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.workloads.models import WorkloadMemoryModel
+from repro.workloads.profiles import memory_model
+
+
+@dataclass(frozen=True)
+class OrganizationComparison:
+    """Shared versus private LLC MPKI for one workload/geometry."""
+
+    workload: str
+    cores: int
+    total_capacity: int
+    shared_mpki: float
+    private_mpki: float
+
+    @property
+    def private_wins(self) -> bool:
+        return self.private_mpki < self.shared_mpki
+
+    @property
+    def winner(self) -> str:
+        return "private" if self.private_wins else "shared"
+
+
+def shared_llc_mpki(
+    model: WorkloadMemoryModel, total_capacity: int, cores: int, line_size: int = 64
+) -> float:
+    """One shared LLC: the baseline model."""
+    return model.llc_mpki(total_capacity, line_size, cores)
+
+
+def private_llc_mpki(
+    model: WorkloadMemoryModel, total_capacity: int, cores: int, line_size: int = 64
+) -> float:
+    """Per-core private LLCs of ``total_capacity / cores`` each.
+
+    Per component:
+
+    * private structures see a single-thread profile against the
+      per-core slice (no cross-thread dilation — the organization's
+      whole point);
+    * shared structures are replicated per core: each slice must hold
+      its own copy, so the component competes for ``capacity / cores``
+      exactly as it would in a small single-core cache.
+    """
+    if cores <= 0:
+        raise ConfigurationError(f"cores must be positive, got {cores}")
+    slice_capacity = total_capacity / cores
+    mpki = 0.0
+    for component in model.components:
+        profile = component.profile(line_size, threads=1)
+        mpki += profile.miss_rate(slice_capacity / line_size)
+    return mpki
+
+
+def compare_organizations(
+    workload: str, total_capacity: int, cores: int, line_size: int = 64
+) -> OrganizationComparison:
+    """Evaluate both organizations for one workload."""
+    model = memory_model(workload)
+    return OrganizationComparison(
+        workload=workload,
+        cores=cores,
+        total_capacity=total_capacity,
+        shared_mpki=shared_llc_mpki(model, total_capacity, cores, line_size),
+        private_mpki=private_llc_mpki(model, total_capacity, cores, line_size),
+    )
+
+
+def organization_study(
+    total_capacity: int, cores: int, line_size: int = 64
+) -> list[OrganizationComparison]:
+    """Shared-versus-private across all eight workloads."""
+    from repro.workloads.profiles import WORKLOAD_NAMES
+
+    return [
+        compare_organizations(name, total_capacity, cores, line_size)
+        for name in WORKLOAD_NAMES
+    ]

@@ -1,0 +1,137 @@
+"""Sector (sub-blocked) caches: big lines without big fills.
+
+Figure 7 shows large lines slashing miss counts, but a 4 KB line moves
+4 KB per miss — the bandwidth cost that makes naive large lines
+impractical and that sector caches were invented for: allocate tags at
+a large *sector* granularity, transfer data at a small *sub-block*
+granularity, and fetch sub-blocks on demand.
+
+:class:`SectorCache` models that organization: hits require both the
+sector tag and the accessed sub-block to be present; a sector miss
+allocates the sector with only the touched sub-block valid; a sub-block
+miss within a resident sector fetches just that sub-block.  The stats
+separate the two miss flavours and count bytes transferred, so the
+spatial-locality benefit (fewer sector allocations) and the bandwidth
+cost (bytes moved) can be traded off explicitly — the quantitative
+backdrop to the paper's "256 byte line provides the maximum benefit".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.cache import CacheConfig, SetAssociativeCache
+from repro.cache.replacement import LRUPolicy
+from repro.errors import ConfigurationError
+from repro.trace.record import AccessKind, TraceChunk
+from repro.units import is_power_of_two
+
+
+@dataclass(frozen=True, slots=True)
+class SectorCacheConfig:
+    """Geometry of a sector cache."""
+
+    size: int
+    sector_size: int = 1024  # tag granularity
+    subblock_size: int = 64  # transfer granularity
+    associativity: int = 8
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.sector_size) or not is_power_of_two(self.subblock_size):
+            raise ConfigurationError("sector and sub-block sizes must be powers of two")
+        if self.subblock_size > self.sector_size:
+            raise ConfigurationError(
+                f"sub-block ({self.subblock_size}B) cannot exceed sector "
+                f"({self.sector_size}B)"
+            )
+
+    @property
+    def subblocks_per_sector(self) -> int:
+        return self.sector_size // self.subblock_size
+
+
+@dataclass(slots=True)
+class SectorStats:
+    """Outcome counters, separated by miss flavour."""
+
+    accesses: int = 0
+    hits: int = 0
+    sector_misses: int = 0  # tag not present: allocate sector
+    subblock_misses: int = 0  # sector resident, block absent: fetch block
+    bytes_transferred: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.sector_misses + self.subblock_misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SectorCache:
+    """A set-associative sector cache with demand sub-block fetch."""
+
+    def __init__(self, config: SectorCacheConfig) -> None:
+        self.config = config
+        self._tags = SetAssociativeCache(
+            CacheConfig(
+                size=config.size,
+                line_size=config.sector_size,
+                associativity=config.associativity,
+                name="sectors",
+            )
+        )
+        self._valid: dict[int, int] = {}  # sector id -> sub-block bitmap
+        self.stats = SectorStats()
+        self._sector_shift = config.sector_size.bit_length() - 1
+        self._sub_shift = config.subblock_size.bit_length() - 1
+
+    def access(self, address: int, kind: AccessKind = AccessKind.READ, core: int = 0) -> bool:
+        """Access one address; returns True on a full (tag+block) hit."""
+        self.stats.accesses += 1
+        sector = address >> self._sector_shift
+        sub_index = (address >> self._sub_shift) & (self.config.subblocks_per_sector - 1)
+        sub_bit = 1 << sub_index
+        resident = self._tags.contains_line(sector)
+        # Track eviction: accessing may displace another sector.
+        evictions_before = self._tags.stats.evictions
+        self._tags.access_line(sector, kind, core)
+        if self._tags.stats.evictions > evictions_before:
+            self._garbage_collect_bitmaps()
+        if resident:
+            bitmap = self._valid.get(sector, 0)
+            if bitmap & sub_bit:
+                self.stats.hits += 1
+                return True
+            self._valid[sector] = bitmap | sub_bit
+            self.stats.subblock_misses += 1
+            self.stats.bytes_transferred += self.config.subblock_size
+            return False
+        self._valid[sector] = sub_bit
+        self.stats.sector_misses += 1
+        self.stats.bytes_transferred += self.config.subblock_size
+        return False
+
+    def _garbage_collect_bitmaps(self) -> None:
+        """Drop validity bitmaps of sectors no longer resident."""
+        if len(self._valid) < 2 * self._tags.config.num_lines:
+            return
+        self._valid = {
+            sector: bitmap
+            for sector, bitmap in self._valid.items()
+            if self._tags.contains_line(sector)
+        }
+
+    def access_chunk(self, chunk: TraceChunk) -> SectorStats:
+        addresses = chunk.addresses
+        kinds = chunk.kinds
+        cores = chunk.cores
+        for i in range(len(chunk)):
+            self.access(int(addresses[i]), AccessKind(int(kinds[i])), int(cores[i]))
+        return self.stats
+
+
+def monolithic_line_traffic(misses: int, line_size: int) -> int:
+    """Bytes a conventional cache moves for the same miss count."""
+    return misses * line_size

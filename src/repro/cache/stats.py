@@ -1,0 +1,121 @@
+"""Cache performance counters.
+
+Dragonhead's CC FPGAs maintain hit/miss counters that the CB board
+collects; the figures of the paper are all derived from these counters
+normalized by retired instructions (misses per 1000 instructions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss counters for one cache (or one emulator bank)."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    reads: int = 0
+    writes: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    evictions: int = 0
+    prefetches: int = 0
+    prefetch_hits: int = 0
+    per_core_accesses: dict[int, int] = field(default_factory=dict)
+    per_core_misses: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per access (0 when no accesses were observed)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        return 1.0 - self.miss_ratio if self.accesses else 0.0
+
+    def mpki(self, instructions: int) -> float:
+        """Misses per 1000 instructions, the paper's y-axis metric."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.misses / instructions
+
+    def apki(self, instructions: int) -> float:
+        """Accesses per 1000 instructions (Table 2's DL1 accesses column)."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.accesses / instructions
+
+    def note_access(self, core: int, is_read: bool, hit: bool) -> None:
+        """Account one access outcome."""
+        self.accesses += 1
+        if is_read:
+            self.reads += 1
+        else:
+            self.writes += 1
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+            if is_read:
+                self.read_misses += 1
+            else:
+                self.write_misses += 1
+        self.per_core_accesses[core] = self.per_core_accesses.get(core, 0) + 1
+        if not hit:
+            self.per_core_misses[core] = self.per_core_misses.get(core, 0) + 1
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return the sum of two counter sets (bank aggregation)."""
+        merged = CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            reads=self.reads + other.reads,
+            writes=self.writes + other.writes,
+            read_misses=self.read_misses + other.read_misses,
+            write_misses=self.write_misses + other.write_misses,
+            evictions=self.evictions + other.evictions,
+            prefetches=self.prefetches + other.prefetches,
+            prefetch_hits=self.prefetch_hits + other.prefetch_hits,
+        )
+        for src in (self, other):
+            for core, n in src.per_core_accesses.items():
+                merged.per_core_accesses[core] = merged.per_core_accesses.get(core, 0) + n
+            for core, n in src.per_core_misses.items():
+                merged.per_core_misses[core] = merged.per_core_misses.get(core, 0) + n
+        return merged
+
+    def snapshot(self) -> "CacheStats":
+        """Return an independent copy of the current counters."""
+        return CacheStats(
+            accesses=self.accesses,
+            hits=self.hits,
+            misses=self.misses,
+            reads=self.reads,
+            writes=self.writes,
+            read_misses=self.read_misses,
+            write_misses=self.write_misses,
+            evictions=self.evictions,
+            prefetches=self.prefetches,
+            prefetch_hits=self.prefetch_hits,
+            per_core_accesses=dict(self.per_core_accesses),
+            per_core_misses=dict(self.per_core_misses),
+        )
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Counters accumulated since ``earlier`` (window sampling)."""
+        return CacheStats(
+            accesses=self.accesses - earlier.accesses,
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            read_misses=self.read_misses - earlier.read_misses,
+            write_misses=self.write_misses - earlier.write_misses,
+            evictions=self.evictions - earlier.evictions,
+            prefetches=self.prefetches - earlier.prefetches,
+            prefetch_hits=self.prefetch_hits - earlier.prefetch_hits,
+        )

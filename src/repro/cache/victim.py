@@ -1,0 +1,108 @@
+"""Victim caching.
+
+The paper's related work includes Zhang & Asanovic's *victim
+replication* ("achieve the benefits of private caches with shared
+caches"); the primitive underneath is the classic Jouppi victim cache —
+a small fully-associative buffer holding recently evicted lines, so
+conflict evictions get a second chance before going to the next level.
+
+:class:`VictimCachedHierarchy` attaches one victim buffer to a primary
+cache: misses probe the victim buffer, a victim hit swaps the line back
+(no next-level traffic), and every primary eviction is deposited into
+the buffer.  The paper's configuration does not use one; this is a
+substrate extension for design-space studies on the same traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.cache import CacheConfig, SetAssociativeCache
+from repro.errors import ConfigurationError
+from repro.trace.record import AccessKind, TraceChunk
+
+
+@dataclass(slots=True)
+class VictimStats:
+    """Victim-buffer effectiveness counters."""
+
+    probes: int = 0
+    victim_hits: int = 0
+    deposits: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.victim_hits / self.probes if self.probes else 0.0
+
+
+class VictimCachedHierarchy:
+    """A primary cache with a small fully-associative victim buffer."""
+
+    def __init__(self, primary: CacheConfig, victim_lines: int = 16) -> None:
+        if victim_lines <= 0:
+            raise ConfigurationError(f"victim_lines must be positive, got {victim_lines}")
+        self.primary = SetAssociativeCache(primary)
+        self.victim_lines = victim_lines
+        self._victims: dict[int, None] = {}  # insertion-ordered LRU
+        self.stats = VictimStats()
+
+    # -- operations ---------------------------------------------------------
+
+    def _deposit(self, line: int) -> None:
+        if line in self._victims:
+            del self._victims[line]
+        self._victims[line] = None
+        if len(self._victims) > self.victim_lines:
+            del self._victims[next(iter(self._victims))]
+        self.stats.deposits += 1
+
+    def access(self, address: int, kind: AccessKind = AccessKind.READ, core: int = 0) -> bool:
+        """Access through primary + victim; True when either hits.
+
+        A victim hit re-installs the line in the primary (displacing a
+        new victim into the buffer) — the swap the hardware performs.
+        """
+        primary = self.primary
+        line = address >> primary._line_shift
+        if primary.contains_line(line):
+            primary.access_line(line, kind, core)
+            return True
+        # Primary miss: probe the victim buffer.
+        self.stats.probes += 1
+        victim_hit = line in self._victims
+        if victim_hit:
+            del self._victims[line]
+            self.stats.victim_hits += 1
+        # Install into the primary either way; capture the displaced line.
+        set_index = line & primary._set_mask
+        displaced = None
+        policy = primary._policy
+        if hasattr(policy, "resident_tags"):
+            tags = policy.resident_tags(set_index)
+            if len(tags) == primary.config.associativity:
+                displaced = tags[0]
+        primary.access_line(line, kind, core)
+        if displaced is not None:
+            self._deposit(displaced)
+        # Victim hits are hits of the combined structure: correct stats.
+        if victim_hit:
+            stats = primary.stats
+            stats.misses -= 1
+            stats.hits += 1
+            if kind == AccessKind.READ:
+                stats.read_misses -= 1
+            else:
+                stats.write_misses -= 1
+        return victim_hit
+
+    def access_chunk(self, chunk: TraceChunk) -> None:
+        addresses = chunk.addresses
+        kinds = chunk.kinds
+        cores = chunk.cores
+        for i in range(len(chunk)):
+            self.access(int(addresses[i]), AccessKind(int(kinds[i])), int(cores[i]))
+
+    @property
+    def misses(self) -> int:
+        """Misses of the combined primary + victim structure."""
+        return self.primary.stats.misses

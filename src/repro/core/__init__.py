@@ -1,0 +1,36 @@
+"""Co-simulation platform: the SoftSDV + Dragonhead analog.
+
+* :mod:`repro.protocol` — the FSB message protocol with which the
+  software simulator signals the cache emulator;
+* :mod:`repro.core.fsb` — front-side-bus transactions and snooping;
+* :mod:`repro.core.dex` — the DEX virtual-core time-slice scheduler;
+* :mod:`repro.core.softsdv` — the full-system-simulator facade;
+* :mod:`repro.core.cosim` — wiring of simulator and emulator;
+* :mod:`repro.cache.sampling` — 500 µs statistic windows;
+* :mod:`repro.core.experiment` — CMP configurations and sweep drivers.
+"""
+
+from repro.protocol import Message, MessageKind, MessageCodec
+from repro.core.fsb import FSBTransaction, FrontSideBus
+from repro.core.dex import DEXScheduler, VirtualCore
+from repro.core.softsdv import SoftSDV, GuestWorkload
+from repro.core.cosim import CoSimPlatform, CoSimResult
+from repro.core.experiment import CMPConfig, SCMP, MCMP, LCMP
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "MessageCodec",
+    "FSBTransaction",
+    "FrontSideBus",
+    "DEXScheduler",
+    "VirtualCore",
+    "SoftSDV",
+    "GuestWorkload",
+    "CoSimPlatform",
+    "CoSimResult",
+    "CMPConfig",
+    "SCMP",
+    "MCMP",
+    "LCMP",
+]

@@ -1,0 +1,106 @@
+"""Hardware-software co-simulation: SoftSDV driving Dragonhead.
+
+Section 3.3: "We use a new co-simulation methodology to run SoftSDV in
+DEX mode while enabling it to drive a performance model through
+integrated Dragonhead emulation."  The wiring is the front-side bus:
+SoftSDV issues guest transactions and protocol messages on the FSB; the
+Dragonhead emulator snoops them.
+
+:class:`CoSimPlatform` assembles the three pieces and exposes one call,
+:meth:`run`, which executes a workload to completion on a chosen core
+count and returns the emulator's performance data, instruction-
+synchronized the way the real platform computes MPKI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.emulator import DragonheadConfig, DragonheadEmulator, PerformanceData
+from repro.cache.stats import CacheStats
+from repro.core.fsb import FrontSideBus
+from repro.cache.sampling import WindowSample
+from repro.core.softsdv import GuestWorkload, SoftSDV
+
+
+@dataclass(frozen=True)
+class CoSimResult:
+    """Outcome of one co-simulated run."""
+
+    workload: str
+    cores: int
+    performance: PerformanceData
+    instructions: int
+    accesses: int
+    filtered: int
+
+    @property
+    def llc_stats(self) -> CacheStats:
+        return self.performance.stats
+
+    @property
+    def mpki(self) -> float:
+        """Shared-LLC misses per 1000 instructions (the figures' metric)."""
+        return self.performance.mpki
+
+    @property
+    def samples(self) -> list[WindowSample]:
+        """Per-500 µs window statistics, as the host reads from CB."""
+        return self.performance.samples
+
+
+class CoSimPlatform:
+    """A complete co-simulation platform instance.
+
+    Create one per (cache configuration, run): like the hardware, the
+    emulator's cache state and counters belong to a single experiment.
+    """
+
+    def __init__(
+        self,
+        dragonhead: DragonheadConfig,
+        quantum: int = 4096,
+        boot_noise_accesses: int = 8192,
+    ) -> None:
+        self.bus = FrontSideBus()
+        self.emulator = DragonheadEmulator(dragonhead)
+        self.bus.attach(self.emulator)
+        self.softsdv = SoftSDV(
+            self.bus, quantum=quantum, boot_noise_accesses=boot_noise_accesses
+        )
+
+    def run(self, workload: GuestWorkload, cores: int) -> CoSimResult:
+        """Run ``workload`` to completion on ``cores`` virtual cores."""
+        scheduler = self.softsdv.run_workload(workload, cores)
+        performance = self.emulator.read_performance_data()
+        return CoSimResult(
+            workload=workload.name,
+            cores=cores,
+            performance=performance,
+            instructions=scheduler.instructions_retired,
+            accesses=performance.stats.accesses,
+            filtered=performance.filtered_transactions,
+        )
+
+
+def cosim_cache_sweep(
+    workload: GuestWorkload,
+    cores: int,
+    cache_sizes: list[int],
+    line_size: int = 64,
+    quantum: int = 4096,
+) -> list[tuple[int, float]]:
+    """Run one co-simulation per cache size; returns (size, MPKI) pairs.
+
+    This is the exact-path analog of the Figure 4-6 sweeps, usable at
+    the reduced scales the instrumented kernels execute at.  Each size
+    gets a fresh platform, as reprogramming the FPGAs would.
+    """
+    results: list[tuple[int, float]] = []
+    for size in cache_sizes:
+        platform = CoSimPlatform(
+            DragonheadConfig(cache_size=size, line_size=line_size), quantum=quantum
+        )
+        outcome = platform.run(workload, cores)
+        results.append((size, outcome.mpki))
+    return results

@@ -1,0 +1,94 @@
+"""Experiment configurations: the paper's three CMP design points.
+
+Section 4.1: "we run the data-mining workloads on three simulated CMP
+systems: a small-scale CMP (8 cores, SCMP), a medium-scale CMP (16
+cores, MCMP), and a large-scale CMP (32 cores, LCMP).  All cores of the
+CMP are assumed to be single-threaded."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.units import MB, PAPER_CACHE_SWEEP, PAPER_LINE_SWEEP
+
+
+@dataclass(frozen=True, slots=True)
+class CMPConfig:
+    """One simulated chip multiprocessor."""
+
+    name: str
+    cores: int
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"cores must be positive, got {self.cores}")
+
+    @property
+    def threads(self) -> int:
+        """One single-threaded workload thread per core."""
+        return self.cores
+
+
+#: The paper's three design points.
+SCMP = CMPConfig("SCMP", 8)
+MCMP = CMPConfig("MCMP", 16)
+LCMP = CMPConfig("LCMP", 32)
+
+ALL_CMPS: tuple[CMPConfig, ...] = (SCMP, MCMP, LCMP)
+
+#: The projection target discussed in Section 4.3 ("even on 128 cores").
+XLCMP = CMPConfig("128-core projection", 128)
+
+
+class MemoryModelLike(Protocol):
+    """Anything that predicts LLC MPKI for a cache configuration.
+
+    Implemented by :class:`repro.workloads.models.WorkloadMemoryModel`;
+    kept as a protocol here so sweep drivers stay decoupled from the
+    model layer.
+    """
+
+    def llc_mpki(self, cache_size: int, line_size: int, threads: int) -> float: ...
+
+
+def cache_size_sweep(
+    model: MemoryModelLike,
+    cmp_config: CMPConfig,
+    sizes: Sequence[int] = PAPER_CACHE_SWEEP,
+    line_size: int = 64,
+) -> list[tuple[int, float]]:
+    """The Figure 4/5/6 sweep: LLC MPKI across cache sizes."""
+    return [
+        (size, model.llc_mpki(size, line_size, cmp_config.threads)) for size in sizes
+    ]
+
+
+def line_size_sweep(
+    model: MemoryModelLike,
+    cmp_config: CMPConfig = LCMP,
+    cache_size: int = 32 * MB,
+    line_sizes: Sequence[int] = PAPER_LINE_SWEEP,
+) -> list[tuple[int, float]]:
+    """The Figure 7 sweep: LLC MPKI across line sizes at a 32 MB LLC."""
+    return [
+        (line, model.llc_mpki(cache_size, line, cmp_config.threads))
+        for line in line_sizes
+    ]
+
+
+def working_set_knee(
+    sweep: Sequence[tuple[int, float]], drop_fraction: float = 0.35
+) -> int | None:
+    """Locate a working-set knee in an MPKI-vs-size sweep.
+
+    The paper reads working sets off the curves: the size where misses
+    drop sharply.  We report the first size whose MPKI is at least
+    ``drop_fraction`` below the previous point's, or None for flat
+    curves (MDS).
+    """
+    for (prev_size, prev_mpki), (size, mpki) in zip(sweep, sweep[1:]):
+        if prev_mpki > 0 and (prev_mpki - mpki) / prev_mpki >= drop_fraction:
+            return size
+    return None

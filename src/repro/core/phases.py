@@ -1,0 +1,139 @@
+"""Phase detection from emulator window samples.
+
+Section 1 argues for full-run co-simulation precisely because it
+"supports changing application phase behavior and also helps choose
+representative regions for detailed simulation".  This module supplies
+that analysis: given the 500 µs window samples the CB board collects, it
+segments the run into phases of stable MPKI and ranks windows by how
+representative they are of their phase — the "choose representative
+regions" workflow.
+
+The detector is a simple online change-point scheme: a new phase opens
+when the windowed MPKI departs from the running phase mean by more than
+``threshold`` (relative), sustained for ``confirm`` windows so single
+outliers do not fragment the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.sampling import WindowSample
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One detected execution phase."""
+
+    index: int
+    start_window: int
+    end_window: int  # exclusive
+    mean_mpki: float
+    instructions: int
+
+    @property
+    def windows(self) -> int:
+        return self.end_window - self.start_window
+
+
+def detect_phases(
+    samples: list[WindowSample],
+    threshold: float = 0.5,
+    confirm: int = 2,
+    min_instructions: int = 1,
+) -> list[Phase]:
+    """Segment window samples into stable-MPKI phases.
+
+    Args:
+        samples: the emulator's per-window statistics, in order.
+        threshold: relative MPKI deviation that opens a new phase.
+        confirm: consecutive deviating windows required to confirm the
+            transition (absorbs one-window spikes).
+        min_instructions: windows below this retire count are treated
+            as idle and attached to the current phase.
+    """
+    if threshold <= 0 or confirm < 1:
+        raise ConfigurationError("threshold must be positive and confirm >= 1")
+    phases: list[Phase] = []
+    if not samples:
+        return phases
+
+    start = 0
+    mpki_sum = 0.0
+    weight = 0
+    instructions = 0
+    pending: list[int] = []  # candidate-transition window indices
+
+    def close(end: int) -> None:
+        nonlocal start, mpki_sum, weight, instructions
+        if end > start:
+            phases.append(
+                Phase(
+                    index=len(phases),
+                    start_window=start,
+                    end_window=end,
+                    mean_mpki=mpki_sum / weight if weight else 0.0,
+                    instructions=instructions,
+                )
+            )
+        start = end
+        mpki_sum = 0.0
+        weight = 0
+        instructions = 0
+
+    for i, sample in enumerate(samples):
+        if sample.instructions < min_instructions:
+            instructions += sample.instructions
+            continue
+        mean = mpki_sum / weight if weight else None
+        deviates = (
+            mean is not None
+            and abs(sample.mpki - mean) > threshold * max(mean, 1e-9)
+        )
+        if deviates:
+            pending.append(i)
+            if len(pending) >= confirm:
+                close(pending[0])
+                for j in pending:
+                    mpki_sum += samples[j].mpki
+                    weight += 1
+                    instructions += samples[j].instructions
+                pending = []
+        else:
+            for j in pending:  # outliers rejoin the current phase
+                mpki_sum += samples[j].mpki
+                weight += 1
+                instructions += samples[j].instructions
+            pending = []
+            mpki_sum += sample.mpki
+            weight += 1
+            instructions += sample.instructions
+    for j in pending:
+        mpki_sum += samples[j].mpki
+        weight += 1
+        instructions += samples[j].instructions
+    close(len(samples))
+    return phases
+
+
+def representative_window(samples: list[WindowSample], phase: Phase) -> int:
+    """The window whose MPKI is closest to its phase mean.
+
+    This is the "representative region for detailed simulation" the
+    paper's methodology section describes selecting.
+    """
+    best = phase.start_window
+    best_distance = float("inf")
+    for i in range(phase.start_window, phase.end_window):
+        distance = abs(samples[i].mpki - phase.mean_mpki)
+        if distance < best_distance:
+            best_distance = distance
+            best = i
+    return best
+
+
+def phase_summary(samples: list[WindowSample], **kwargs) -> list[tuple[Phase, int]]:
+    """Detected phases with their representative windows."""
+    phases = detect_phases(samples, **kwargs)
+    return [(phase, representative_window(samples, phase)) for phase in phases]

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the package derives from :class:`ReproError` so
+callers can catch package failures with a single ``except`` clause while
+still distinguishing configuration mistakes from protocol violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with parameters outside its supported range.
+
+    Mirrors the hardware limits of the modelled platform: for example the
+    Dragonhead emulator only supports cache sizes from 1 MB to 256 MB and
+    line sizes from 64 B to 4096 B, so configuring it outside that envelope
+    raises this error rather than silently emulating unsupported hardware.
+    """
+
+
+class ProtocolError(ReproError):
+    """A front-side-bus message stream violated the co-simulation protocol.
+
+    Raised, for example, when a ``STOP_EMULATION`` message arrives while no
+    emulation window is open, or when a message transaction carries an
+    opcode outside the defined set.
+    """
+
+
+class TraceError(ReproError):
+    """A memory trace was malformed or streams could not be combined."""
+
+
+class CalibrationError(ReproError):
+    """A workload memory model could not satisfy its calibration targets."""

@@ -1,0 +1,7 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+One module per exhibit (``table1``, ``table2``, ``fig4`` … ``fig8``),
+each exposing ``generate()`` returning the exhibit's data and ``main()``
+printing it in the paper's layout.  ``runall`` executes everything and
+renders the paper-versus-measured comparison used in EXPERIMENTS.md.
+"""

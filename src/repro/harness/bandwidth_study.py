@@ -1,0 +1,97 @@
+"""FSB bandwidth-demand study.
+
+The paper's conclusions repeatedly invoke bandwidth: large DRAM caches
+"reduce the latency and bandwidth to main memory", and Section 4.4's
+prefetch asymmetry hinges on which workloads saturate the shared bus.
+This harness quantifies the demand-miss bandwidth of every workload on
+the three CMPs, from the calibrated models and the CPI stack — the
+memory-system sizing numbers a platform architect would pull from this
+study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.experiment import ALL_CMPS, CMPConfig
+from repro.harness.report import render_table
+from repro.perf.bandwidth import BusModel
+from repro.perf.cpi import cpi_stack
+from repro.units import MB
+from repro.workloads.profiles import WORKLOAD_NAMES, memory_model
+
+
+@dataclass(frozen=True)
+class BandwidthRow:
+    workload: str
+    cmp_name: str
+    cores: int
+    llc_mpki: float
+    demand_gb_per_s: float
+    bus_utilization: float
+
+
+def generate(
+    llc_size: int = 32 * MB,
+    bus: BusModel | None = None,
+    cmps: tuple[CMPConfig, ...] = ALL_CMPS,
+) -> list[BandwidthRow]:
+    """Demand bandwidth of each workload at a 32 MB LLC on each CMP."""
+    bus = bus or BusModel()
+    rows: list[BandwidthRow] = []
+    for cmp_config in cmps:
+        for name in WORKLOAD_NAMES:
+            model = memory_model(name)
+            mpki = model.llc_mpki(llc_size, 64, cmp_config.cores)
+            cpi = cpi_stack(name, model.dl1_mpki(), model.dl2_mpki()).total
+            demand = bus.demand_bandwidth(mpki, cpi, cmp_config.cores)
+            rows.append(
+                BandwidthRow(
+                    workload=name,
+                    cmp_name=cmp_config.name,
+                    cores=cmp_config.cores,
+                    llc_mpki=mpki,
+                    demand_gb_per_s=demand / 1e9,
+                    bus_utilization=bus.utilization(mpki, cpi, cmp_config.cores),
+                )
+            )
+    return rows
+
+
+def main() -> None:
+    """Print per-CMP bandwidth-demand tables."""
+    rows = generate()
+    by_cmp: dict[str, list[BandwidthRow]] = {}
+    for row in rows:
+        by_cmp.setdefault(row.cmp_name, []).append(row)
+    for cmp_name, cmp_rows in by_cmp.items():
+        print(
+            render_table(
+                ["Workload", "LLC MPKI", "demand GB/s", "bus utilization"],
+                [
+                    (
+                        r.workload,
+                        f"{r.llc_mpki:.2f}",
+                        f"{r.demand_gb_per_s:.2f}",
+                        f"{100 * r.bus_utilization:.0f}%",
+                    )
+                    for r in cmp_rows
+                ],
+                title=(
+                    f"Memory bandwidth demand on {cmp_name} "
+                    f"({cmp_rows[0].cores} cores, 32MB LLC)"
+                ),
+            )
+        )
+        print()
+    heaviest = max(rows, key=lambda r: r.demand_gb_per_s)
+    print(
+        f"Heaviest demand: {heaviest.workload} on {heaviest.cmp_name} "
+        f"({heaviest.demand_gb_per_s:.1f} GB/s) — the workloads driving the "
+        "paper's call for DRAM caches to 'reduce the latency and bandwidth "
+        "to main memory'."
+    )
+
+
+if __name__ == "__main__":
+    main()

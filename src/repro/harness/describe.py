@@ -1,0 +1,114 @@
+"""``repro-describe``: the model card of one workload.
+
+Prints everything the repository knows about a workload: its Table 1
+inputs, Table 2 characteristics (paper and model), the calibrated
+component mixture with per-component working sets and rates, the
+projected working sets per CMP, and the prefetch/sharing classification
+— the audit view for anyone extending the calibration.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.harness.report import render_table
+from repro.perf.cpi import predicted_ipc
+from repro.perf.prefetch_study import component_prefetch_fraction
+from repro.units import MB, format_size
+from repro.workloads.profiles import (
+    CATEGORIES,
+    PAPER_TABLE2,
+    WORKING_SETS,
+    WORKLOAD_NAMES,
+)
+from repro.workloads.registry import get_workload
+
+
+def describe(name: str) -> str:
+    """The full model card as a string."""
+    workload = get_workload(name)
+    model = workload.model
+    paper = PAPER_TABLE2[workload.name]
+    lines: list[str] = []
+    lines.append(f"{workload.name} — {workload.description}")
+    lines.append(f"Sharing category (Section 4.3): {CATEGORIES[workload.name]}")
+    lines.append(f"Table 1 inputs: {workload.table1_parameters}")
+    lines.append(f"Table 1 dataset: {workload.table1_dataset}")
+    lines.append("")
+    lines.append(
+        render_table(
+            ["metric", "paper", "model"],
+            [
+                ("IPC", f"{paper.ipc:.2f}",
+                 f"{predicted_ipc(workload.name, model.dl1_mpki(), model.dl2_mpki()):.2f}"),
+                ("instructions (B)", f"{paper.instructions_billions:.2f}", "—"),
+                ("memory instructions", f"{paper.mem_instruction_pct:.2f}%",
+                 f"{100 * model.mem_fraction:.2f}%"),
+                ("DL1 accesses /1k", f"{paper.dl1_accesses_pki:.0f}", f"{model.apki:.0f}"),
+                ("DL1 MPKI", f"{paper.dl1_mpki:.2f}", f"{model.dl1_mpki():.2f}"),
+                ("DL2 MPKI", f"{paper.dl2_mpki:.2f}", f"{model.dl2_mpki():.2f}"),
+            ],
+            title="Table 2 characteristics",
+        )
+    )
+    lines.append("")
+    lines.append(
+        render_table(
+            ["component", "pattern", "sharing", "region", "stride", "rate/1k", "prefetch"],
+            [
+                (
+                    c.name,
+                    c.pattern,
+                    c.sharing,
+                    format_size(int(c.region_bytes)),
+                    str(c.stride),
+                    f"{c.apki64:.2f}",
+                    f"{component_prefetch_fraction(c.name, c.pattern):.2f}",
+                )
+                for c in model.components
+            ],
+            title="Calibrated component mixture (line-crossing rates at 64B)",
+        )
+    )
+    lines.append("")
+    working_sets = WORKING_SETS[workload.name]
+    lines.append(
+        render_table(
+            ["CMP", "paper working set", "model MPKI @32MB", "model footprint"],
+            [
+                (
+                    f"{cores} cores",
+                    "/".join(format_size(w) for w in working_sets[cores]),
+                    f"{model.llc_mpki(32 * MB, 64, cores):.2f}",
+                    format_size(int(model.footprint_bytes(cores))),
+                )
+                for cores in (8, 16, 32)
+            ],
+            title="Thread scaling",
+        )
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Print model cards for one or all workloads."""
+    parser = argparse.ArgumentParser(
+        prog="repro-describe", description="Print a workload's model card."
+    )
+    parser.add_argument(
+        "workload",
+        nargs="?",
+        choices=list(WORKLOAD_NAMES),
+        help="workload name (omit for all eight)",
+    )
+    args = parser.parse_args(argv)
+    names = [args.workload] if args.workload else list(WORKLOAD_NAMES)
+    for i, name in enumerate(names):
+        if i:
+            print("\n" + "=" * 72 + "\n")
+        print(describe(name))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

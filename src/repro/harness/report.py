@@ -1,0 +1,61 @@
+"""ASCII rendering for harness output.
+
+Tables are rendered with aligned columns; figure data (one series per
+workload over a swept axis) is rendered as a compact grid plus an
+optional text sparkline so curve shapes are visible in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    text_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode sparkline of a series (empty input → empty string)."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high - low < 1e-12:
+        return _SPARK[0] * len(values)
+    scale = (len(_SPARK) - 1) / (high - low)
+    return "".join(_SPARK[int((v - low) * scale)] for v in values)
+
+
+def render_series_table(
+    axis_label: str,
+    axis_values: Sequence[str],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render one row per series over a swept axis, with sparklines."""
+    headers = [axis_label, *axis_values, "shape"]
+    rows = []
+    for name, values in series.items():
+        rows.append(
+            [name, *(value_format.format(v) for v in values), sparkline(list(values))]
+        )
+    return render_table(headers, rows, title=title)

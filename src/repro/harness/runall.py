@@ -1,0 +1,59 @@
+"""Run every experiment and print the full paper-versus-measured report.
+
+``repro-runall`` regenerates Table 1, Table 2, and Figures 4-8 in
+sequence — the exact content EXPERIMENTS.md records.  ``--extended``
+adds the repository's own studies (the 128-core projection, the model
+ablations, the bandwidth demand table); ``--csv DIR`` also writes every
+exhibit as CSV for downstream analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.harness import (
+    ablations,
+    bandwidth_study,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    projection,
+    table1,
+    table2,
+)
+
+PAPER_EXHIBITS = (table1, table2, fig4, fig5, fig6, fig7, fig8)
+EXTENDED_EXHIBITS = (projection, ablations, bandwidth_study)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Regenerate every exhibit (optionally extended studies + CSV)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-runall", description="Regenerate the paper's evaluation."
+    )
+    parser.add_argument(
+        "--extended",
+        action="store_true",
+        help="also run the projection, ablation, and bandwidth studies",
+    )
+    parser.add_argument(
+        "--csv", metavar="DIR", help="write every exhibit as CSV into DIR"
+    )
+    args = parser.parse_args(argv)
+
+    exhibits = PAPER_EXHIBITS + (EXTENDED_EXHIBITS if args.extended else ())
+    for exhibit in exhibits:
+        exhibit.main()
+        print()
+    if args.csv:
+        from repro.harness.export import export_all
+
+        for path in export_all(args.csv):
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

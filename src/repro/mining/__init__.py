@@ -1,0 +1,25 @@
+"""From-scratch implementations of the paper's eight data-mining algorithms.
+
+The paper's workloads are proprietary Intel applications; this package
+reimplements the published algorithms they are built on (Section 2):
+
+==========  =====================================================  ==============
+Workload    Algorithm                                              Module
+==========  =====================================================  ==============
+SNP         Bayesian-network structure learning (hill climbing)    :mod:`bayesnet`
+SVM-RFE     SVM training + recursive feature elimination           :mod:`svm`
+RSEARCH     SCFG decoding via the CYK algorithm                    :mod:`scfg`
+FIMI        frequent-itemset mining via FP-growth                  :mod:`fpgrowth`
+PLSA        Smith-Waterman local sequence alignment                :mod:`align`
+MDS         graph-based ranking + maximum marginal relevance       :mod:`summarize`
+SHOT        RGB-histogram shot-boundary detection                  :mod:`video`
+VIEWTYPE    HSV dominant-color view-type classification            :mod:`video`
+==========  =====================================================  ==============
+
+Each module offers a plain fast API (used by tests for correctness
+against brute-force references) and a *traced kernel* that runs the same
+algorithm on :class:`~repro.trace.instrument.TracedArray` buffers,
+emitting the real memory-access trace the co-simulation platform
+consumes.  Synthetic datasets matching Table 1's shapes come from
+:mod:`repro.mining.datasets`.
+"""

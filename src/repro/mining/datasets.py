@@ -1,0 +1,276 @@
+"""Synthetic dataset generators matching Table 1's input shapes.
+
+The paper's real inputs (HGBASE SNP sequences, a cancer micro-array,
+GenBank RNA, the Kosarak click stream, MPEG-2 video) are not
+redistributable; these generators produce statistically similar data:
+
+* genotype matrices with allele-frequency structure (SNP: "600k
+  sequences, each with length 50");
+* micro-array expression with informative and noise genes (SVM-RFE:
+  "253 tissue samples, each with 15k genes");
+* nucleotide databases with embedded homologs (RSEARCH: "100MB
+  database, search sequence size 100");
+* power-law transaction sets (FIMI: "990k transactions", Kosarak-like);
+* DNA pairs with controlled mutation distance (PLSA: "two sequences in
+  30k length");
+* Zipf-vocabulary document collections (MDS: "220 pages with 25k
+  sequences");
+* synthetic sports video with scene cuts and a playfield (SHOT /
+  VIEWTYPE: "10-min MPEG-2 video, 720x576").
+
+All generators take an explicit seed and a ``scale`` in (0, 1] that
+shrinks the instance while preserving its distributional shape, so the
+instrumented kernels can run at Python-feasible sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+NUCLEOTIDES = np.array([0, 1, 2, 3], dtype=np.uint8)  # A C G U/T
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# -- SNP -------------------------------------------------------------------
+
+
+def genotype_matrix(
+    n_sequences: int = 600, length: int = 50, seed: int = 7
+) -> np.ndarray:
+    """Binary genotype matrix with linkage between nearby loci.
+
+    Each column is a SNP locus; nearby loci are correlated (as real
+    haplotype blocks are), giving the structure-learning search real
+    dependencies to find.
+    """
+    rng = _rng(seed)
+    base = rng.random(length)
+    data = np.empty((n_sequences, length), dtype=np.uint8)
+    for j in range(length):
+        if j and rng.random() < 0.6:
+            # Linked locus: copy the previous one with noise.
+            flips = rng.random(n_sequences) < 0.15
+            data[:, j] = np.where(flips, 1 - data[:, j - 1], data[:, j - 1])
+        else:
+            data[:, j] = (rng.random(n_sequences) < base[j]).astype(np.uint8)
+    return data
+
+
+# -- SVM-RFE -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MicroArray:
+    """Expression matrix plus class labels (+1 / -1)."""
+
+    expression: np.ndarray  # (samples, genes), float64
+    labels: np.ndarray  # (samples,), int8
+    informative: np.ndarray  # indices of the genes that carry signal
+
+
+def micro_array(
+    samples: int = 64, genes: int = 512, informative: int = 16, seed: int = 11
+) -> MicroArray:
+    """Two-class expression data where only ``informative`` genes matter."""
+    rng = _rng(seed)
+    informative = min(informative, genes)
+    labels = np.where(rng.random(samples) < 0.5, 1, -1).astype(np.int8)
+    expression = rng.normal(0.0, 1.0, size=(samples, genes))
+    signal_genes = rng.choice(genes, size=informative, replace=False)
+    for g in signal_genes:
+        expression[:, g] += labels * rng.uniform(0.8, 1.6)
+    return MicroArray(expression, labels, np.sort(signal_genes))
+
+
+# -- RSEARCH ------------------------------------------------------------------
+
+
+def rna_database(length: int = 20000, seed: int = 13) -> np.ndarray:
+    """A nucleotide database (uint8 codes 0-3)."""
+    rng = _rng(seed)
+    return rng.integers(0, 4, size=length, dtype=np.uint8)
+
+
+def rna_query(length: int = 100, seed: int = 17) -> np.ndarray:
+    """A query sequence with hairpin structure (reverse-complement halves).
+
+    SCFGs model base-pairing; giving the query genuine stem structure
+    makes the CYK scores discriminative.
+    """
+    rng = _rng(seed)
+    half = rng.integers(0, 4, size=length // 2, dtype=np.uint8)
+    complement = (3 - half)[::-1]
+    full = np.concatenate([half, complement])
+    return full[:length]
+
+
+def plant_homolog(database: np.ndarray, query: np.ndarray, position: int, mutation_rate: float = 0.1, seed: int = 19) -> np.ndarray:
+    """Insert a mutated copy of ``query`` into ``database`` at ``position``."""
+    rng = _rng(seed)
+    copy = query.copy()
+    flips = rng.random(len(copy)) < mutation_rate
+    copy[flips] = rng.integers(0, 4, size=int(flips.sum()), dtype=np.uint8)
+    out = database.copy()
+    out[position : position + len(copy)] = copy
+    return out
+
+
+# -- FIMI ------------------------------------------------------------------------
+
+
+def transactions(
+    n_transactions: int = 2000,
+    n_items: int = 200,
+    avg_length: int = 8,
+    zipf_alpha: float = 1.3,
+    seed: int = 23,
+) -> list[list[int]]:
+    """Kosarak-like transaction set: Zipf item popularity, geometric sizes."""
+    rng = _rng(seed)
+    ranks = np.arange(1, n_items + 1, dtype=np.float64)
+    weights = ranks ** (-zipf_alpha)
+    weights /= weights.sum()
+    result: list[list[int]] = []
+    for _ in range(n_transactions):
+        size = max(1, int(rng.geometric(1.0 / avg_length)))
+        size = min(size, n_items)
+        items = rng.choice(n_items, size=size, replace=False, p=weights)
+        result.append(sorted(int(i) for i in items))
+    return result
+
+
+# -- PLSA --------------------------------------------------------------------------
+
+
+def dna_pair(
+    length: int = 512, divergence: float = 0.2, seed: int = 29
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two homologous DNA sequences ``divergence`` apart (PLSA's input)."""
+    rng = _rng(seed)
+    first = rng.integers(0, 4, size=length, dtype=np.uint8)
+    second = first.copy()
+    mutations = rng.random(length) < divergence
+    second[mutations] = rng.integers(0, 4, size=int(mutations.sum()), dtype=np.uint8)
+    # A few indels, confined to the final quarter so the bulk of the
+    # pair stays position-aligned (local alignment still has real work
+    # at the indel sites, and element-wise identity remains meaningful).
+    tail_start = 3 * length // 4
+    for _ in range(max(1, length // 128)):
+        cut = rng.integers(tail_start, len(second) - 4)
+        second = np.concatenate(
+            [second[:cut], second[cut + 3 :], rng.integers(0, 4, size=3, dtype=np.uint8)]
+        )
+    return first, second[:length]
+
+
+# -- MDS ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DocumentSet:
+    """Tokenized sentences grouped into documents, plus a query."""
+
+    sentences: list[list[int]]  # token ids
+    document_of: list[int]  # sentence -> document index
+    query: list[int]
+    vocabulary_size: int
+
+
+def document_set(
+    n_documents: int = 24,
+    sentences_per_document: int = 12,
+    vocabulary_size: int = 600,
+    sentence_length: int = 14,
+    topic_words: int = 40,
+    seed: int = 31,
+) -> DocumentSet:
+    """Multi-document summarization input with a shared topic.
+
+    All documents mix a shared topic vocabulary (so they overlap, which
+    is what makes redundancy-aware MMR meaningful) with per-document
+    noise words; the query is drawn from the topic.
+    """
+    rng = _rng(seed)
+    topic = rng.choice(vocabulary_size, size=topic_words, replace=False)
+    sentences: list[list[int]] = []
+    document_of: list[int] = []
+    for d in range(n_documents):
+        noise = rng.choice(vocabulary_size, size=topic_words, replace=False)
+        for _ in range(sentences_per_document):
+            k_topic = rng.integers(2, sentence_length // 2 + 2)
+            words = list(rng.choice(topic, size=k_topic)) + list(
+                rng.choice(noise, size=sentence_length - k_topic)
+            )
+            sentences.append([int(w) for w in words])
+            document_of.append(d)
+    query = [int(w) for w in rng.choice(topic, size=6, replace=False)]
+    return DocumentSet(sentences, document_of, query, vocabulary_size)
+
+
+# -- SHOT / VIEWTYPE ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SyntheticVideo:
+    """Frames plus ground truth for shot boundaries and view types."""
+
+    frames: np.ndarray  # (n, h, w, 3) uint8 RGB
+    shot_boundaries: list[int]  # frame indices starting new shots
+    view_types: list[str]  # per-shot ground-truth view type
+
+
+VIEW_TYPES = ("global", "medium", "closeup", "outofview")
+
+
+def synthetic_video(
+    n_frames: int = 60,
+    height: int = 36,
+    width: int = 48,
+    mean_shot_length: int = 12,
+    seed: int = 37,
+) -> SyntheticVideo:
+    """Sports-broadcast-like synthetic video.
+
+    Each shot has a dominant playfield color occupying an area fraction
+    characteristic of its view type (global > medium > close-up >
+    out-of-view), plus per-frame noise and slow drift, so both the
+    histogram-difference shot detector and the dominant-color view
+    classifier have realistic signal.
+    """
+    rng = _rng(seed)
+    frames = np.zeros((n_frames, height, width, 3), dtype=np.uint8)
+    boundaries: list[int] = [0]
+    view_types: list[str] = []
+    field_fraction = {"global": 0.7, "medium": 0.4, "closeup": 0.12, "outofview": 0.0}
+    # One stadium per video: the playfield color is constant across
+    # shots, which is what lets the accumulated-histogram training find
+    # it as the dominant color.
+    field_color = np.array([40, rng.integers(150, 200), 50], dtype=np.uint8)
+    frame = 0
+    while frame < n_frames:
+        shot_len = max(3, int(rng.poisson(mean_shot_length)))
+        view = VIEW_TYPES[rng.integers(0, len(VIEW_TYPES))]
+        view_types.append(view)
+        background = rng.integers(0, 255, size=3).astype(np.uint8)
+        rows = int(height * field_fraction[view])
+        for f in range(frame, min(frame + shot_len, n_frames)):
+            img = np.empty((height, width, 3), dtype=np.uint8)
+            img[:, :] = background
+            if rows:
+                img[height - rows :, :] = field_color
+                # Players: small non-field blobs on the field.
+                for _ in range(rng.integers(1, 4)):
+                    r = rng.integers(height - rows, height)
+                    c = rng.integers(0, width - 2)
+                    img[r : r + 2, c : c + 2] = rng.integers(0, 255, size=3)
+            noise = rng.integers(0, 12, size=img.shape, dtype=np.uint8)
+            frames[f] = np.clip(img.astype(np.int16) + noise, 0, 255).astype(np.uint8)
+        frame += shot_len
+        if frame < n_frames:
+            boundaries.append(frame)
+    return SyntheticVideo(frames, boundaries, view_types)

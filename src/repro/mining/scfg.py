@@ -1,0 +1,245 @@
+"""Stochastic context-free grammars and CYK decoding (the RSEARCH workload).
+
+Section 2.2: "A Cocke-Younger-Kasami (CYK) algorithm is a basic parsing
+algorithm for context-free language.  RSEARCH uses it for RNA secondary
+structure homolog searches.  It decodes the Stochastic Context-Free
+Grammar (SCFG) to search a single RNA sequence against the database to
+find its homologous RNAs."
+
+We implement a small RNA covariance-style SCFG in Chomsky normal form
+with log-probability rules, the O(n^3) CYK *inside* algorithm that
+scores a window, and the database scan that slides the query-sized
+window along the database — the access pattern that gives RSEARCH its
+streaming-over-database + hot-DP-table memory profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.trace.instrument import MemoryArena, TraceRecorder
+
+NEG_INF = -1e18
+
+
+@dataclass(frozen=True)
+class SCFG:
+    """A CNF stochastic grammar: A→BC and A→terminal rules in log space.
+
+    Attributes:
+        n_nonterminals: nonterminal count; 0 is the start symbol.
+        binary_rules: (A, B, C, log_p) entries for A → B C.
+        terminal_logp: array (n_nonterminals, 4): log P(A → symbol).
+    """
+
+    n_nonterminals: int
+    binary_rules: tuple[tuple[int, int, int, float], ...]
+    terminal_logp: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.terminal_logp.shape != (self.n_nonterminals, 4):
+            raise ConfigurationError(
+                f"terminal_logp must be ({self.n_nonterminals}, 4), "
+                f"got {self.terminal_logp.shape}"
+            )
+
+
+def rna_hairpin_grammar(seed: int = 41) -> SCFG:
+    """A small grammar rewarding base-paired (complementary) structure.
+
+    Nonterminals: 0=S (start/pair), 1=L (left extension), 2=E (emit).
+    S → L L rewards pairing-friendly splits; terminal probabilities of S
+    favour the complementary alphabet halves, so hairpin-shaped queries
+    score above random sequence — enough structure for homolog search
+    experiments without a full covariance model.
+    """
+    rng = np.random.default_rng(seed)
+    terminal = np.log(rng.dirichlet(np.ones(4), size=3) + 1e-9)
+    # Bias S's emissions toward A/U (codes 0/3), E's toward C/G (1/2).
+    terminal[0] = np.log(np.array([0.35, 0.15, 0.15, 0.35]))
+    terminal[2] = np.log(np.array([0.15, 0.35, 0.35, 0.15]))
+    rules = (
+        (0, 1, 2, np.log(0.45)),
+        (0, 2, 1, np.log(0.25)),
+        (1, 0, 2, np.log(0.3)),
+        (1, 2, 2, np.log(0.3)),
+        (2, 2, 2, np.log(0.2)),
+    )
+    return SCFG(n_nonterminals=3, binary_rules=rules, terminal_logp=terminal)
+
+
+def cyk_inside(grammar: SCFG, sequence: np.ndarray) -> float:
+    """Log-probability of ``sequence`` under the grammar (max-derivation).
+
+    The classic CYK chart: ``chart[span, start, A]`` holds the best log
+    probability that nonterminal A derives the subsequence.  Returns the
+    start symbol's score over the whole sequence.
+    """
+    n = len(sequence)
+    if n == 0:
+        return NEG_INF
+    k = grammar.n_nonterminals
+    chart = np.full((n, n, k), NEG_INF)
+    chart[0, np.arange(n), :] = grammar.terminal_logp[:, sequence].T
+    for span in range(2, n + 1):
+        for start in range(0, n - span + 1):
+            cell = chart[span - 1, start]
+            for a, b, c, log_p in grammar.binary_rules:
+                best = cell[a]
+                for split in range(1, span):
+                    left = chart[split - 1, start, b]
+                    if left <= NEG_INF / 2:
+                        continue
+                    right = chart[span - split - 1, start + split, c]
+                    candidate = log_p + left + right
+                    if candidate > best:
+                        best = candidate
+                cell[a] = best
+    return float(chart[n - 1, 0, 0])
+
+
+def null_model_logp(sequence: np.ndarray) -> float:
+    """Uniform-background score used to normalize window scores."""
+    return float(len(sequence) * np.log(0.25))
+
+
+class PairingSCFG:
+    """A structure-aware SCFG in the RNA-folding normal form.
+
+    Rules (with log scores rather than normalized probabilities, as
+    covariance-model bit scores are):
+
+    * ``S → a S a'`` — emit a base *pair*; complementary pairs (A-U,
+      C-G) score ``pair_bonus``, others ``mismatch_penalty``;
+    * ``S → a S`` / ``S → S a`` — unpaired emission, ``unpaired_score``;
+    * ``S → S S`` — bifurcation, free.
+
+    This is the Nussinov-style DP that actual RNA homolog search decodes
+    with CYK; hairpin-structured windows (many nested complementary
+    pairs) score far above random sequence, which is what lets
+    :func:`rsearch_scan` locate planted homologs.
+    """
+
+    def __init__(
+        self,
+        pair_bonus: float = 2.0,
+        mismatch_penalty: float = -1.5,
+        unpaired_score: float = -0.3,
+    ) -> None:
+        self.pair_bonus = pair_bonus
+        self.mismatch_penalty = mismatch_penalty
+        self.unpaired_score = unpaired_score
+
+    def pair_score(self, left: int, right: int) -> float:
+        """A-U (0,3) and C-G (1,2) are Watson-Crick complements."""
+        return self.pair_bonus if left + right == 3 else self.mismatch_penalty
+
+    def cyk_score(self, sequence: np.ndarray) -> float:
+        """Best-derivation log score of ``sequence`` (O(n^3) CYK).
+
+        Every base is either part of a pair (contributing half the pair
+        score) or unpaired (contributing ``unpaired_score``); nested and
+        adjacent (bifurcated) structures are both explored.
+        """
+        n = len(sequence)
+        if n == 0:
+            return 0.0
+        score = np.full((n, n), 0.0)
+        for i in range(n):
+            score[i, i] = self.unpaired_score  # single unpaired base
+        for span in range(2, n + 1):
+            for start in range(0, n - span + 1):
+                end = start + span - 1
+                best = score[start + 1, end] + self.unpaired_score  # S → a S
+                candidate = score[start, end - 1] + self.unpaired_score  # S → S a
+                if candidate > best:
+                    best = candidate
+                inner = score[start + 1, end - 1] if span > 2 else 0.0
+                candidate = inner + self.pair_score(
+                    int(sequence[start]), int(sequence[end])
+                )  # S → a S a'
+                if candidate > best:
+                    best = candidate
+                for split in range(start + 1, end):  # S → S S
+                    candidate = score[start, split] + score[split + 1, end]
+                    if candidate > best:
+                        best = candidate
+                score[start, end] = best
+        return float(score[0, n - 1])
+
+
+def rsearch_scan(
+    grammar: "SCFG | PairingSCFG",
+    database: np.ndarray,
+    window: int,
+    step: int = 1,
+    query: np.ndarray | None = None,
+    sequence_weight: float = 2.0,
+) -> list[tuple[int, float]]:
+    """Slide a CYK window along the database; returns (position, bitscore).
+
+    When a ``query`` is given the score combines structure (CYK bit
+    score of the window) with sequence similarity to the query
+    (Smith-Waterman), mirroring RSEARCH's joint sequence+structure
+    RIBOSUM scoring — structure alone cannot separate homologs from
+    background because random RNA also folds well.
+    """
+    if window <= 0 or step <= 0:
+        raise ConfigurationError("window and step must be positive")
+    scores: list[tuple[int, float]] = []
+    for start in range(0, max(1, len(database) - window + 1), step):
+        segment = database[start : start + window]
+        bits = window_bitscore(grammar, segment)
+        if query is not None:
+            from repro.mining.align import sw_best_score
+
+            bits += sequence_weight * sw_best_score(segment, query)
+        scores.append((start, bits))
+    return scores
+
+
+def window_bitscore(grammar: "SCFG | PairingSCFG", segment: np.ndarray) -> float:
+    """Null-model-normalized score of one window under either grammar."""
+    if isinstance(grammar, PairingSCFG):
+        # The pairing grammar is already in score space; normalize
+        # against the all-unpaired derivation of the same window.
+        return float(
+            grammar.cyk_score(segment) - len(segment) * grammar.unpaired_score
+        )
+    raw = cyk_inside(grammar, segment)
+    return float((raw - null_model_logp(segment)) / np.log(2.0))
+
+
+def traced_rsearch_kernel(
+    recorder: TraceRecorder,
+    arena: MemoryArena,
+    database_length: int = 512,
+    window: int = 24,
+    step: int = 12,
+    seed: int = 13,
+) -> list[tuple[int, float]]:
+    """Database scan on instrumented buffers.
+
+    The trace shows RSEARCH's two components: a forward streaming scan
+    of the (large, shared) database and intense reuse of the (small,
+    private) CYK chart — matching the paper's description of a big
+    shared database with per-thread private DP state.
+    """
+    from repro.mining.datasets import rna_database
+
+    grammar = PairingSCFG()
+    database = rna_database(length=database_length, seed=seed)
+    traced_db = arena.wrap(recorder, database)
+    chart = arena.array(recorder, (window, window), dtype=np.float64)
+    scores: list[tuple[int, float]] = []
+    for start in range(0, max(1, database_length - window + 1), step):
+        segment = traced_db[start : start + window]  # traced streaming read
+        for span in range(2, window + 1):  # chart reuse pattern
+            chart[span - 1, :]
+            chart[span - 2, :]
+        recorder.retire(window * window * 2)
+        scores.append((start, window_bitscore(grammar, segment)))
+    return scores

@@ -1,0 +1,24 @@
+"""Performance models: CPI stacks, bus bandwidth, prefetch gains.
+
+* :mod:`repro.perf.cpi` — the CPI-stack IPC model behind Table 2's IPC
+  column;
+* :mod:`repro.perf.bandwidth` — the shared front-side-bus occupancy
+  model that throttles prefetching under parallel contention;
+* :mod:`repro.perf.prefetch_study` — the Figure 8 experiment: hardware
+  stride-prefetch speedups in serial and 16-thread mode.
+"""
+
+from repro.perf.cpi import CpiStack, cpi_stack, predicted_ipc
+from repro.perf.bandwidth import BusModel, bandwidth_headroom
+from repro.perf.prefetch_study import PrefetchGain, prefetch_gain, prefetch_study
+
+__all__ = [
+    "CpiStack",
+    "cpi_stack",
+    "predicted_ipc",
+    "BusModel",
+    "bandwidth_headroom",
+    "PrefetchGain",
+    "prefetch_gain",
+    "prefetch_study",
+]

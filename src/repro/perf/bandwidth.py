@@ -1,0 +1,64 @@
+"""Shared front-side-bus bandwidth model.
+
+Section 4.4's asymmetry hinges on bandwidth: "for other workloads, such
+as SNP and MDS, parallel versions of these workloads impose higher
+contention on the bandwidth than serial versions due to high cache miss
+rates.  As a result, little bandwidth is available for hardware
+prefetching."
+
+The model: the Unisys Xeon's shared bus moves a fixed number of cache
+lines per second.  Demand misses consume
+``threads x MPKI/1000 x line_size x instruction_rate`` of it; whatever
+is left is *headroom* the prefetcher may spend.  Prefetch effectiveness
+scales with headroom, so high-miss-rate workloads lose their prefetch
+benefit exactly when parallelized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BusModel:
+    """A shared front-side bus.
+
+    Attributes:
+        peak_bytes_per_second: aggregate bus bandwidth.  The 16-way
+            Unisys ES7000's processor buses deliver a few GB/s to each
+            4-processor pod; a single pooled figure is enough for the
+            contention asymmetry.
+        core_frequency_hz: guest clock for converting CPI to time.
+    """
+
+    peak_bytes_per_second: float = 6.4e9
+    core_frequency_hz: float = 3.0e9
+
+    def demand_bandwidth(
+        self, mpki: float, cpi: float, threads: int, line_size: int = 64
+    ) -> float:
+        """Bytes/second of demand-miss traffic for ``threads`` cores."""
+        if cpi <= 0:
+            raise ConfigurationError(f"cpi must be positive, got {cpi}")
+        instructions_per_second = self.core_frequency_hz / cpi
+        per_core = mpki / 1000.0 * line_size * instructions_per_second
+        return per_core * threads
+
+    def utilization(
+        self, mpki: float, cpi: float, threads: int, line_size: int = 64
+    ) -> float:
+        """Fraction of the bus consumed by demand misses (capped at 1)."""
+        return min(
+            1.0,
+            self.demand_bandwidth(mpki, cpi, threads, line_size)
+            / self.peak_bytes_per_second,
+        )
+
+
+def bandwidth_headroom(
+    bus: BusModel, mpki: float, cpi: float, threads: int, line_size: int = 64
+) -> float:
+    """Fraction of bus bandwidth left over for prefetch traffic."""
+    return 1.0 - bus.utilization(mpki, cpi, threads, line_size)

@@ -1,0 +1,111 @@
+"""DRAM-cache evaluation: the paper's headline design conclusion.
+
+The paper's conclusion: "Since large SRAM cache organizations can be
+expensive to build, alternative cache organizations using DRAM (e.g.
+embedded DRAM (eDRAM), off-die DRAM-based large last-level caches, 3D
+die-stacking) are essential to reduce the latency and bandwidth to main
+memory" — and Section 4.3's projection: "we believe that 5 of the 8
+workloads will benefit from a large DRAM cache when scaled to a
+128-core CMP."
+
+The organization evaluated here is the one the paper proposes: a large
+DRAM cache *behind* the on-die SRAM LLC, turning main-memory misses
+into (slower-than-SRAM but much-faster-than-DRAM-bus) DRAM-cache hits:
+
+* without: ``stall = MPKI(SRAM) x memory_latency``
+* with:    ``stall = [MPKI(SRAM) − MPKI(DRAM)] x dram_hit_latency
+  + MPKI(DRAM) x memory_latency``
+
+both in cycles per 1000 instructions, with MPKIs from the calibrated
+workload models at the projected core count.
+
+A workload *benefits* (the paper's verdict) when a fixed SRAM LLC
+cannot hold its working set at scale: either the working set grows with
+the core count (categories B and C), or it exceeds even very large
+caches (MDS's 300 MB matrix).  :func:`dram_cache_verdict` encodes that
+criterion; the stall model quantifies the win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import MB
+from repro.workloads.profiles import WORKLOAD_NAMES, memory_model
+
+#: On-die SRAM LLC capacity assumed at the 128-core design point.
+SRAM_CAPACITY = 8 * MB
+#: DRAM cache capacity (eDRAM / 3D-stacked / off-die).
+DRAM_CAPACITY = 128 * MB
+#: Latencies in core cycles.
+DRAM_HIT_LATENCY = 90.0
+MEMORY_LATENCY_CYCLES = 400.0
+
+#: Verdict thresholds: a workload is a DRAM-cache candidate when its
+#: misses at a 32 MB cache grow this much from 1 thread to the target
+#: core count (working set scales with cores), or when it still misses
+#: heavily beyond the DRAM-cache capacity (working set exceeds any
+#: buildable SRAM).
+SCALING_RATIO_THRESHOLD = 1.45
+RESIDUAL_MPKI_THRESHOLD = 2.0
+
+
+@dataclass(frozen=True)
+class DramCacheResult:
+    """One workload's DRAM-cache evaluation at a core count."""
+
+    workload: str
+    threads: int
+    sram_mpki: float  # misses past the SRAM LLC
+    dram_mpki: float  # misses past the DRAM cache too
+    scaling_ratio: float  # 32MB MPKI growth, 1 thread → `threads`
+    residual_mpki: float  # MPKI beyond a 128MB cache
+
+    @property
+    def stall_without(self) -> float:
+        """Memory stall cycles per 1000 instructions, SRAM LLC only."""
+        return self.sram_mpki * MEMORY_LATENCY_CYCLES
+
+    @property
+    def stall_with(self) -> float:
+        """Stall cycles with the DRAM cache behind the SRAM LLC."""
+        dram_hits = max(0.0, self.sram_mpki - self.dram_mpki)
+        return dram_hits * DRAM_HIT_LATENCY + self.dram_mpki * MEMORY_LATENCY_CYCLES
+
+    @property
+    def stall_saving_percent(self) -> float:
+        if self.stall_without <= 0:
+            return 0.0
+        return 100.0 * (self.stall_without - self.stall_with) / self.stall_without
+
+    @property
+    def benefits(self) -> bool:
+        """The paper's verdict: does this workload need the DRAM cache?
+
+        True when the working set scales with cores (no fixed SRAM size
+        holds it) or exceeds even the DRAM-cache capacity.
+        """
+        return (
+            self.scaling_ratio >= SCALING_RATIO_THRESHOLD
+            or self.residual_mpki > RESIDUAL_MPKI_THRESHOLD
+        )
+
+
+def evaluate_dram_cache(workload: str, threads: int = 128) -> DramCacheResult:
+    """Evaluate the DRAM-cache organization for one workload."""
+    model = memory_model(workload)
+    single_thread = max(model.llc_mpki(32 * MB, 64, 1), 1e-9)
+    scaled = model.llc_mpki(32 * MB, 64, threads)
+    return DramCacheResult(
+        workload=workload,
+        threads=threads,
+        sram_mpki=model.llc_mpki(SRAM_CAPACITY, 64, threads),
+        dram_mpki=model.llc_mpki(DRAM_CAPACITY, 64, threads),
+        scaling_ratio=scaled / single_thread,
+        residual_mpki=model.llc_mpki(DRAM_CAPACITY, 64, threads),
+    )
+
+
+def dram_cache_study(threads: int = 128) -> list[DramCacheResult]:
+    """The Section 4.3 projection for every workload."""
+    return [evaluate_dram_cache(name, threads) for name in WORKLOAD_NAMES]

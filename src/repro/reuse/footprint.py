@@ -1,0 +1,82 @@
+"""Working-set functions (Denning) from traces.
+
+The paper speaks throughout in working-set terms — "the workloads have
+working-set sizes of 32MB or more", knees in the miss curves, footprints
+that scale with threads.  This module computes the underlying function
+from a trace rather than reading it off a miss curve:
+
+* :func:`working_set_function` — Denning's ws(τ): the average number of
+  distinct lines referenced in a window of τ accesses, computed exactly
+  for a set of window sizes in one pass per window;
+* :func:`working_set_size` — the classic operating point: ws(τ) at a
+  window matching the cache's reuse horizon;
+* :func:`footprint_at_knee` — invert a miss curve into the working-set
+  reading the paper performs on Figures 4-6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.trace.record import TraceChunk
+
+
+def distinct_in_windows(lines: np.ndarray, window: int) -> float:
+    """Average distinct lines over all length-``window`` slices, exactly.
+
+    Per-access counting (the footprint-theory identity): access ``i``
+    with previous same-line occurrence ``p`` is the *first* occurrence
+    of its line in window ``[s, s+window)`` for exactly the starts
+    ``s`` in ``(max(p, i-window), min(i, n-window)]``.  Summing those
+    counts over all accesses gives the total distinct-line mass over
+    all windows in one pass.
+    """
+    n = len(lines)
+    if window <= 0:
+        raise ConfigurationError(f"window must be positive, got {window}")
+    if n == 0:
+        return 0.0
+    window = min(window, n)
+    last_seen: dict[int, int] = {}
+    previous = np.empty(n, dtype=np.int64)
+    for i, line in enumerate(lines):
+        line = int(line)
+        previous[i] = last_seen.get(line, -1)
+        last_seen[line] = i
+    indices = np.arange(n, dtype=np.int64)
+    lower = np.maximum(previous, indices - window)  # exclusive
+    upper = np.minimum(indices, n - window)  # inclusive
+    counts = np.clip(upper - lower, 0, None)
+    return float(counts.sum() / (n - window + 1))
+
+
+def working_set_function(
+    chunk: TraceChunk, windows: list[int], line_size: int = 64
+) -> list[tuple[int, float]]:
+    """Denning's ws(τ) at the given window sizes, in lines."""
+    lines = chunk.lines(line_size)
+    return [(window, distinct_in_windows(lines, window)) for window in windows]
+
+
+def working_set_size(
+    chunk: TraceChunk, window: int, line_size: int = 64
+) -> int:
+    """ws(τ) in bytes at one window (rounded up to whole lines)."""
+    average = distinct_in_windows(chunk.lines(line_size), window)
+    return int(np.ceil(average)) * line_size
+
+
+def footprint_at_knee(
+    sweep: list[tuple[int, float]], drop_fraction: float = 0.3
+) -> int | None:
+    """Read a working set off a miss curve the way the paper does.
+
+    Returns the first swept size whose MPKI sits at least
+    ``drop_fraction`` below the previous point's — the left edge of the
+    knee — or None for flat curves.
+    """
+    for (previous_size, previous_mpki), (size, mpki) in zip(sweep, sweep[1:]):
+        if previous_mpki > 0 and (previous_mpki - mpki) / previous_mpki >= drop_fraction:
+            return size
+    return None

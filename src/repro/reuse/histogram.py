@@ -1,0 +1,165 @@
+"""Reuse profiles: weighted stack-distance distributions.
+
+A :class:`ReuseProfile` describes the steady-state memory behaviour of a
+workload (or one component of it) as a set of ``(stack distance, rate)``
+points, where *rate* is measured in accesses per 1000 instructions.
+Profiles compose by concatenation — the mixture of two access streams
+has the union of their distance masses — which is what lets the workload
+models be assembled from per-data-structure components and then across
+threads.
+
+Distances are in cache lines, so a profile is specific to a line size;
+the workload components generate profiles per line size, capturing
+spatial-locality effects (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.reuse.olken import COLD
+
+
+@dataclass(frozen=True)
+class ReuseProfile:
+    """A weighted stack-distance distribution.
+
+    Attributes:
+        distances: support points, in cache lines (float; ``np.inf``
+            marks never-reused accesses, e.g. cold streaming data).
+        rates: accesses per 1000 instructions carried by each point.
+    """
+
+    distances: np.ndarray
+    rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "distances", np.asarray(self.distances, dtype=np.float64)
+        )
+        object.__setattr__(self, "rates", np.asarray(self.rates, dtype=np.float64))
+        if self.distances.shape != self.rates.shape:
+            raise TraceError("distances and rates must have matching shapes")
+        if np.any(self.rates < 0):
+            raise TraceError("rates must be non-negative")
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "ReuseProfile":
+        return cls(np.empty(0), np.empty(0))
+
+    @classmethod
+    def point(cls, distance: float, rate: float) -> "ReuseProfile":
+        """All accesses share one stack distance (cyclic scans)."""
+        return cls(np.array([distance]), np.array([rate]))
+
+    @classmethod
+    def uniform(cls, footprint_lines: float, rate: float, points: int = 64) -> "ReuseProfile":
+        """Distances uniform on [0, footprint): the uniform-random pattern.
+
+        Classical result: under uniform independent references over N
+        items, the LRU stack position of the referenced item is uniform
+        on [0, N), so the miss ratio at capacity C is (N-C)/N.
+        """
+        if footprint_lines <= 0:
+            raise TraceError(f"footprint must be positive, got {footprint_lines}")
+        centers = (np.arange(points) + 0.5) * (footprint_lines / points)
+        return cls(centers, np.full(points, rate / points))
+
+    @classmethod
+    def streaming(cls, rate: float) -> "ReuseProfile":
+        """Never-reused accesses (infinite distance): pure streaming."""
+        return cls(np.array([np.inf]), np.array([rate]))
+
+    @classmethod
+    def uniform_range(
+        cls, low: float, high: float, rate: float, points: int = 32
+    ) -> "ReuseProfile":
+        """Distances uniform on [low, high): spread around a working set.
+
+        Used to smooth the step response of cyclic scans: phase drift
+        and competing structures spread reuse distances around the
+        nominal footprint rather than concentrating them exactly on it.
+        """
+        if not 0 <= low < high:
+            raise TraceError(f"need 0 <= low < high, got [{low}, {high})")
+        centers = low + (np.arange(points) + 0.5) * ((high - low) / points)
+        return cls(centers, np.full(points, rate / points))
+
+    @classmethod
+    def from_distances(
+        cls, distances: np.ndarray, instructions: int, cold_as_infinite: bool = True
+    ) -> "ReuseProfile":
+        """Build an empirical profile from exact per-access distances.
+
+        ``instructions`` normalizes counts into per-1000-instruction
+        rates, so empirical profiles compare directly with model ones.
+        """
+        distances = np.asarray(distances)
+        if instructions <= 0:
+            raise TraceError(f"instructions must be positive, got {instructions}")
+        finite = distances[distances != COLD].astype(np.float64)
+        values, counts = np.unique(finite, return_counts=True)
+        rates = counts * (1000.0 / instructions)
+        if cold_as_infinite:
+            cold = int(np.count_nonzero(distances == COLD))
+            if cold:
+                values = np.append(values, np.inf)
+                rates = np.append(rates, cold * 1000.0 / instructions)
+        return cls(values, rates)
+
+    # -- algebra ----------------------------------------------------------
+
+    def combine(self, *others: "ReuseProfile") -> "ReuseProfile":
+        """Mixture of this profile with ``others`` (rates add)."""
+        parts = (self, *others)
+        return ReuseProfile(
+            np.concatenate([p.distances for p in parts]),
+            np.concatenate([p.rates for p in parts]),
+        )
+
+    def scaled(self, factor: float) -> "ReuseProfile":
+        """Scale all rates (e.g. phase weighting)."""
+        if factor < 0:
+            raise TraceError(f"scale factor must be non-negative, got {factor}")
+        return ReuseProfile(self.distances, self.rates * factor)
+
+    def dilated(self, factor: float, footprint_cap: float = np.inf) -> "ReuseProfile":
+        """Multiply all distances by ``factor`` (thread interleaving).
+
+        ``footprint_cap`` bounds the dilated distances: a reuse can never
+        see more distinct lines than the total data footprint.
+        """
+        if factor <= 0:
+            raise TraceError(f"dilation factor must be positive, got {factor}")
+        dilated = np.where(
+            np.isinf(self.distances),
+            self.distances,  # streaming accesses stay never-reused
+            np.minimum(self.distances * factor, footprint_cap),
+        )
+        return ReuseProfile(dilated, self.rates)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def total_rate(self) -> float:
+        """Total accesses per 1000 instructions."""
+        return float(self.rates.sum())
+
+    def miss_rate(self, capacity_lines: float) -> float:
+        """Misses per 1000 instructions in a ``capacity_lines`` LRU cache."""
+        return float(self.rates[self.distances >= capacity_lines].sum())
+
+    def miss_ratio(self, capacity_lines: float) -> float:
+        """Miss probability per access."""
+        total = self.total_rate
+        return self.miss_rate(capacity_lines) / total if total else 0.0
+
+    def footprint_lines(self) -> float:
+        """Largest finite distance — a lower bound on the working set."""
+        finite = self.distances[np.isfinite(self.distances)]
+        return float(finite.max()) if len(finite) else 0.0

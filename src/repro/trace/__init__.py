@@ -1,0 +1,35 @@
+"""Memory-trace infrastructure.
+
+Everything the co-simulation platform consumes is a stream of memory
+transactions.  This subpackage defines the record types
+(:mod:`repro.trace.record`), stream combinators
+(:mod:`repro.trace.stream`), vectorized synthetic access-pattern
+generators (:mod:`repro.trace.generators`), the instrumentation layer
+that lets the real data-mining kernels emit traces
+(:mod:`repro.trace.instrument`), and trace-level statistics
+(:mod:`repro.trace.stats`).
+"""
+
+from repro.trace.record import AccessKind, MemoryAccess, TraceChunk
+from repro.trace.stream import (
+    chunk_stream,
+    concat,
+    materialize,
+    round_robin_interleave,
+    split_by_core,
+)
+from repro.trace.instrument import MemoryArena, TraceRecorder, TracedArray
+
+__all__ = [
+    "AccessKind",
+    "MemoryAccess",
+    "TraceChunk",
+    "chunk_stream",
+    "concat",
+    "materialize",
+    "round_robin_interleave",
+    "split_by_core",
+    "MemoryArena",
+    "TraceRecorder",
+    "TracedArray",
+]

@@ -1,0 +1,227 @@
+"""Vectorized synthetic memory-access-pattern generators.
+
+Each generator produces a :class:`~repro.trace.record.TraceChunk` for one
+of the canonical access patterns that the workload memory models are
+built from (see :mod:`repro.workloads.models`):
+
+* sequential / strided scans — streaming array traversals (SHOT's frame
+  arrays, MDS's compressed-matrix sweeps, PLSA's DP wavefronts);
+* cyclic scans — repeated passes over one region (SVM-RFE's kernel
+  matrix re-reads);
+* uniform and Zipf random accesses — hash/tree probing (FIMI's FP-tree,
+  SNP's scattered genotype lookups);
+* pointer chases — linked traversals with no spatial locality.
+
+All generators are deterministic given a :class:`numpy.random.Generator`
+and are vectorized so that traces of tens of millions of transactions
+remain cheap to produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.record import AccessKind, TraceChunk
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """A contiguous address-space region that a pattern operates on."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise TraceError(f"region size must be positive, got {self.size}")
+        if self.base < 0:
+            raise TraceError(f"region base must be non-negative, got {self.base}")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+def _with_kinds(
+    addresses: np.ndarray,
+    write_fraction: float,
+    rng: np.random.Generator,
+    pc: int,
+) -> TraceChunk:
+    if not 0.0 <= write_fraction <= 1.0:
+        raise TraceError(f"write_fraction must be in [0, 1], got {write_fraction}")
+    n = len(addresses)
+    if write_fraction == 0.0:
+        kinds = np.zeros(n, dtype=np.uint8)
+    elif write_fraction == 1.0:
+        kinds = np.full(n, int(AccessKind.WRITE), dtype=np.uint8)
+    else:
+        kinds = (rng.random(n) < write_fraction).astype(np.uint8)
+    return TraceChunk(addresses, kinds, 0, pc)
+
+
+def sequential_scan(
+    region: Region,
+    count: int,
+    stride: int = 8,
+    write_fraction: float = 0.0,
+    rng: np.random.Generator | None = None,
+    pc: int = 0,
+    backward: bool = False,
+) -> TraceChunk:
+    """Scan ``region`` with a constant stride, wrapping at the region end.
+
+    This is the streaming pattern: ``count`` accesses at ``base``,
+    ``base+stride``, ... modulo the region size.  With ``backward`` the
+    scan runs in decreasing-address order, which the paper notes some
+    workloads exhibit (and which stride prefetchers must also detect).
+    """
+    if stride <= 0:
+        raise TraceError(f"stride must be positive, got {stride}")
+    if count < 0:
+        raise TraceError(f"count must be non-negative, got {count}")
+    rng = rng or np.random.default_rng(0)
+    offsets = (np.arange(count, dtype=np.uint64) * np.uint64(stride)) % np.uint64(region.size)
+    if backward:
+        offsets = (np.uint64(region.size) - np.uint64(stride) - offsets) % np.uint64(region.size)
+    addresses = np.uint64(region.base) + offsets
+    return _with_kinds(addresses, write_fraction, rng, pc)
+
+
+def cyclic_scan(
+    region: Region,
+    passes: int,
+    stride: int = 8,
+    write_fraction: float = 0.0,
+    rng: np.random.Generator | None = None,
+    pc: int = 0,
+) -> TraceChunk:
+    """Perform ``passes`` complete in-order traversals of ``region``.
+
+    The reuse behaviour of a cyclic scan is the sharpest possible: under
+    LRU every non-cold access has stack distance exactly equal to the
+    region footprint, so the miss-rate-versus-capacity curve is a step.
+    """
+    if passes <= 0:
+        raise TraceError(f"passes must be positive, got {passes}")
+    per_pass = max(1, region.size // stride)
+    return sequential_scan(
+        region, per_pass * passes, stride=stride, write_fraction=write_fraction, rng=rng, pc=pc
+    )
+
+
+def uniform_random(
+    region: Region,
+    count: int,
+    granule: int = 8,
+    write_fraction: float = 0.0,
+    rng: np.random.Generator | None = None,
+    pc: int = 0,
+) -> TraceChunk:
+    """Access ``count`` uniformly random ``granule``-aligned addresses."""
+    if granule <= 0:
+        raise TraceError(f"granule must be positive, got {granule}")
+    rng = rng or np.random.default_rng(0)
+    slots = max(1, region.size // granule)
+    picks = rng.integers(0, slots, size=count, dtype=np.uint64)
+    addresses = np.uint64(region.base) + picks * np.uint64(granule)
+    return _with_kinds(addresses, write_fraction, rng, pc)
+
+
+def zipf_random(
+    region: Region,
+    count: int,
+    alpha: float = 1.1,
+    granule: int = 8,
+    write_fraction: float = 0.0,
+    rng: np.random.Generator | None = None,
+    pc: int = 0,
+) -> TraceChunk:
+    """Access Zipf-distributed ``granule``-aligned addresses in ``region``.
+
+    Models skewed structures such as FP-tree upper levels, where a few
+    hot nodes absorb most probes.  ``alpha`` is the Zipf exponent; the
+    rank-to-address mapping is a fixed pseudorandom permutation so hot
+    items are scattered through the region rather than clustered.
+    """
+    if alpha <= 0:
+        raise TraceError(f"alpha must be positive, got {alpha}")
+    rng = rng or np.random.default_rng(0)
+    slots = max(1, region.size // granule)
+    ranks = np.arange(1, slots + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    weights /= weights.sum()
+    picks = rng.choice(slots, size=count, p=weights).astype(np.uint64)
+    # Scatter ranks over the region with a multiplicative hash so the
+    # hottest addresses are not all in one corner of the footprint.
+    scattered = (picks * np.uint64(2654435761)) % np.uint64(slots)
+    addresses = np.uint64(region.base) + scattered * np.uint64(granule)
+    return _with_kinds(addresses, write_fraction, rng, pc)
+
+
+def pointer_chase(
+    region: Region,
+    count: int,
+    node_size: int = 64,
+    write_fraction: float = 0.0,
+    rng: np.random.Generator | None = None,
+    pc: int = 0,
+) -> TraceChunk:
+    """Follow a random cyclic permutation of nodes through ``region``.
+
+    Every access depends on the previous one and successive nodes are
+    far apart, giving no spatial locality at all — the pathological case
+    for large cache lines.
+    """
+    rng = rng or np.random.default_rng(0)
+    nodes = max(2, region.size // node_size)
+    order = rng.permutation(nodes).astype(np.uint64)
+    reps = int(np.ceil(count / nodes))
+    walk = np.tile(order, reps)[:count]
+    addresses = np.uint64(region.base) + walk * np.uint64(node_size)
+    return _with_kinds(addresses, write_fraction, rng, pc)
+
+
+def interleave_mix(
+    chunks: list[TraceChunk],
+    weights: list[float],
+    count: int,
+    rng: np.random.Generator | None = None,
+) -> TraceChunk:
+    """Statistically interleave several pattern chunks.
+
+    Draws ``count`` transactions, picking the source chunk of each draw
+    with the given weights and consuming each source in its own order.
+    This is how a phase that mixes (say) a streaming scan with random
+    table probes is realized as a single trace.
+    """
+    if len(chunks) != len(weights):
+        raise TraceError("chunks and weights must have equal length")
+    if not chunks:
+        return TraceChunk.empty()
+    rng = rng or np.random.default_rng(0)
+    w = np.asarray(weights, dtype=np.float64)
+    if np.any(w < 0) or w.sum() <= 0:
+        raise TraceError("weights must be non-negative and sum to a positive value")
+    w = w / w.sum()
+    source = rng.choice(len(chunks), size=count, p=w)
+    cursors = np.zeros(len(chunks), dtype=np.int64)
+    out_addr = np.empty(count, dtype=np.uint64)
+    out_kind = np.empty(count, dtype=np.uint8)
+    out_pc = np.empty(count, dtype=np.uint64)
+    for idx, chunk in enumerate(chunks):
+        mask = source == idx
+        n = int(mask.sum())
+        if n == 0:
+            continue
+        if len(chunk) == 0:
+            raise TraceError("cannot draw from an empty chunk")
+        positions = np.arange(n, dtype=np.int64) % len(chunk)
+        out_addr[mask] = chunk.addresses[positions]
+        out_kind[mask] = chunk.kinds[positions]
+        out_pc[mask] = chunk.pcs[positions]
+        cursors[idx] = n
+    return TraceChunk(out_addr, out_kind, 0, out_pc)

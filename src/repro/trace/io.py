@@ -1,0 +1,47 @@
+"""Trace serialization.
+
+Instrumented kernel runs are expensive relative to cache simulation;
+persisting their traces lets a design-space sweep re-run many cache
+configurations against one recorded execution — the software equivalent
+of replaying a logic-analyzer capture into the emulator.
+
+Format: numpy ``.npz`` with the four column arrays plus a format tag.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import BinaryIO
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.record import TraceChunk
+
+FORMAT_TAG = "repro-trace-v1"
+
+
+def save_trace(chunk: TraceChunk, path: str | os.PathLike | BinaryIO) -> None:
+    """Write a trace chunk to ``path`` (``.npz``, compressed)."""
+    np.savez_compressed(
+        path,
+        format=np.array(FORMAT_TAG),
+        addresses=chunk.addresses,
+        kinds=chunk.kinds,
+        cores=chunk.cores,
+        pcs=chunk.pcs,
+    )
+
+
+def load_trace(path: str | os.PathLike | BinaryIO) -> TraceChunk:
+    """Read a trace chunk previously written by :func:`save_trace`."""
+    with np.load(path) as archive:
+        try:
+            tag = str(archive["format"])
+        except KeyError:
+            raise TraceError(f"{path!r} is not a repro trace file") from None
+        if tag != FORMAT_TAG:
+            raise TraceError(f"unsupported trace format {tag!r}")
+        return TraceChunk(
+            archive["addresses"], archive["kinds"], archive["cores"], archive["pcs"]
+        )

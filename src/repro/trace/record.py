@@ -1,0 +1,177 @@
+"""Memory-transaction record types.
+
+A trace is a sequence of memory transactions as they would appear on the
+front-side bus of the co-simulation host: a byte address, a read/write
+kind, the virtual core that issued it, and (optionally) the program
+counter of the issuing instruction, which the stride prefetcher uses to
+separate access streams.
+
+Two representations are provided:
+
+* :class:`MemoryAccess` — a single transaction, convenient for tests and
+  for the instrumentation layer.
+* :class:`TraceChunk` — a structure-of-arrays batch of transactions
+  backed by numpy, the representation every performance-sensitive
+  consumer (cache simulator, stack-distance analyzer) operates on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+class AccessKind(enum.IntEnum):
+    """The kind of a memory transaction."""
+
+    READ = 0
+    WRITE = 1
+
+    @property
+    def is_read(self) -> bool:
+        return self is AccessKind.READ
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryAccess:
+    """A single memory transaction.
+
+    Attributes:
+        address: byte address of the transaction.
+        kind: read or write.
+        core: id of the virtual core that issued the transaction.
+        pc: program counter of the issuing instruction (0 when unknown).
+        size: number of bytes touched (defaults to one word).
+    """
+
+    address: int
+    kind: AccessKind = AccessKind.READ
+    core: int = 0
+    pc: int = 0
+    size: int = 8
+
+    def line(self, line_size: int) -> int:
+        """Return the cache-line index of this access."""
+        return self.address // line_size
+
+
+class TraceChunk:
+    """A batch of memory transactions in structure-of-arrays form.
+
+    All arrays share one length.  Addresses are ``uint64`` byte
+    addresses; kinds are ``uint8`` values of :class:`AccessKind`; cores
+    are ``uint16``; pcs are ``uint64``.
+    """
+
+    __slots__ = ("addresses", "kinds", "cores", "pcs")
+
+    def __init__(
+        self,
+        addresses: np.ndarray | Sequence[int],
+        kinds: np.ndarray | Sequence[int] | None = None,
+        cores: np.ndarray | Sequence[int] | int = 0,
+        pcs: np.ndarray | Sequence[int] | int = 0,
+    ) -> None:
+        self.addresses = np.asarray(addresses, dtype=np.uint64)
+        n = len(self.addresses)
+        if kinds is None:
+            self.kinds = np.zeros(n, dtype=np.uint8)
+        else:
+            self.kinds = np.asarray(kinds, dtype=np.uint8)
+        if isinstance(cores, (int, np.integer)):
+            self.cores = np.full(n, cores, dtype=np.uint16)
+        else:
+            self.cores = np.asarray(cores, dtype=np.uint16)
+        if isinstance(pcs, (int, np.integer)):
+            self.pcs = np.full(n, pcs, dtype=np.uint64)
+        else:
+            self.pcs = np.asarray(pcs, dtype=np.uint64)
+        if not (len(self.kinds) == len(self.cores) == len(self.pcs) == n):
+            raise TraceError(
+                "TraceChunk arrays must share one length: "
+                f"addresses={n} kinds={len(self.kinds)} "
+                f"cores={len(self.cores)} pcs={len(self.pcs)}"
+            )
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_accesses(cls, accesses: Iterable[MemoryAccess]) -> "TraceChunk":
+        """Build a chunk from individual :class:`MemoryAccess` records."""
+        accesses = list(accesses)
+        return cls(
+            addresses=[a.address for a in accesses],
+            kinds=[int(a.kind) for a in accesses],
+            cores=[a.core for a in accesses],
+            pcs=[a.pc for a in accesses],
+        )
+
+    @classmethod
+    def empty(cls) -> "TraceChunk":
+        """Return a zero-length chunk."""
+        return cls(np.empty(0, dtype=np.uint64))
+
+    # -- container protocol -------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        for i in range(len(self)):
+            yield MemoryAccess(
+                address=int(self.addresses[i]),
+                kind=AccessKind(int(self.kinds[i])),
+                core=int(self.cores[i]),
+                pc=int(self.pcs[i]),
+            )
+
+    def __getitem__(self, index: slice) -> "TraceChunk":
+        if not isinstance(index, slice):
+            raise TypeError("TraceChunk only supports slice indexing")
+        return TraceChunk(
+            self.addresses[index], self.kinds[index], self.cores[index], self.pcs[index]
+        )
+
+    def __repr__(self) -> str:
+        return f"TraceChunk(n={len(self)})"
+
+    # -- transformations ----------------------------------------------
+
+    def lines(self, line_size: int) -> np.ndarray:
+        """Return the cache-line index of every access as ``uint64``."""
+        if line_size <= 0:
+            raise TraceError(f"line size must be positive, got {line_size}")
+        shift = int(line_size).bit_length() - 1
+        if (1 << shift) != line_size:
+            return self.addresses // np.uint64(line_size)
+        return self.addresses >> np.uint64(shift)
+
+    def with_core(self, core: int) -> "TraceChunk":
+        """Return a copy of this chunk re-tagged to ``core``."""
+        return TraceChunk(self.addresses, self.kinds, core, self.pcs)
+
+    def read_count(self) -> int:
+        """Number of read transactions in the chunk."""
+        return int(np.count_nonzero(self.kinds == int(AccessKind.READ)))
+
+    def write_count(self) -> int:
+        """Number of write transactions in the chunk."""
+        return len(self) - self.read_count()
+
+    @staticmethod
+    def concatenate(chunks: Sequence["TraceChunk"]) -> "TraceChunk":
+        """Concatenate chunks preserving order."""
+        chunks = [c for c in chunks if len(c)]
+        if not chunks:
+            return TraceChunk.empty()
+        return TraceChunk(
+            np.concatenate([c.addresses for c in chunks]),
+            np.concatenate([c.kinds for c in chunks]),
+            np.concatenate([c.cores for c in chunks]),
+            np.concatenate([c.pcs for c in chunks]),
+        )

@@ -1,0 +1,145 @@
+"""Trace-stream combinators.
+
+A *trace stream* is any iterable of :class:`~repro.trace.record.TraceChunk`.
+Streams are how workload threads hand their memory transactions to the
+DEX scheduler, and how the scheduler hands the interleaved, core-tagged
+transaction sequence to the front-side bus.
+
+The central combinator is :func:`round_robin_interleave`, which models
+what SoftSDV's DEX mode does physically: one host processor executes the
+work of many virtual cores in time slices, so the bus observes quantum
+``Q`` of core 0, then quantum ``Q`` of core 1, and so on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.record import TraceChunk
+
+TraceStream = Iterable[TraceChunk]
+
+
+def chunk_stream(chunk: TraceChunk, chunk_size: int = 65536) -> Iterator[TraceChunk]:
+    """Split one large chunk into a stream of bounded-size chunks."""
+    if chunk_size <= 0:
+        raise TraceError(f"chunk_size must be positive, got {chunk_size}")
+    for start in range(0, len(chunk), chunk_size):
+        yield chunk[start : start + chunk_size]
+
+
+def concat(streams: Sequence[TraceStream]) -> Iterator[TraceChunk]:
+    """Yield all chunks of each stream, one stream after another."""
+    for stream in streams:
+        yield from stream
+
+
+def materialize(stream: TraceStream) -> TraceChunk:
+    """Drain a stream into a single chunk (for analysis and tests)."""
+    return TraceChunk.concatenate(list(stream))
+
+
+class StreamCursor:
+    """Incremental consumption of a trace stream in arbitrary bites.
+
+    Used by the round-robin interleaver here and by the DEX scheduler,
+    both of which pull fixed quanta from per-core streams.
+    """
+
+    __slots__ = ("iterator", "pending", "offset", "done")
+
+    def __init__(self, stream: TraceStream) -> None:
+        self.iterator = iter(stream)
+        self.pending: TraceChunk | None = None
+        self.offset = 0
+        self.done = False
+
+    def take(self, n: int) -> TraceChunk:
+        """Consume up to ``n`` transactions; short chunks mean exhaustion."""
+        parts: list[TraceChunk] = []
+        need = n
+        while need > 0 and not self.done:
+            if self.pending is None or self.offset >= len(self.pending):
+                try:
+                    self.pending = next(self.iterator)
+                    self.offset = 0
+                except StopIteration:
+                    self.done = True
+                    break
+            available = len(self.pending) - self.offset
+            grab = min(available, need)
+            parts.append(self.pending[self.offset : self.offset + grab])
+            self.offset += grab
+            need -= grab
+        return TraceChunk.concatenate(parts)
+
+
+def round_robin_interleave(
+    streams: Sequence[TraceStream],
+    quantum: int = 1024,
+    tag_cores: bool = True,
+) -> Iterator[TraceChunk]:
+    """Interleave per-thread streams in fixed quanta, the way DEX schedules.
+
+    Args:
+        streams: one stream per virtual core, in core-id order.
+        quantum: number of transactions each core issues per time slice.
+            This models the DEX scheduling quantum; the paper's platform
+            time-slices virtual cores on the physical processor.
+        tag_cores: when True, re-tag every chunk of ``streams[i]`` with
+            core id ``i`` (the common case: per-thread generators emit
+            core 0 and the scheduler assigns real ids).
+
+    Yields one chunk per time slice until every stream is exhausted.
+    Streams that finish early simply drop out of the rotation, as a
+    finished guest thread would.
+    """
+    if quantum <= 0:
+        raise TraceError(f"quantum must be positive, got {quantum}")
+    cursors = [StreamCursor(s) for s in streams]
+    active = list(range(len(cursors)))
+    while active:
+        still_active: list[int] = []
+        for core in active:
+            piece = cursors[core].take(quantum)
+            if len(piece):
+                yield piece.with_core(core) if tag_cores else piece
+            if not cursors[core].done or len(piece) == quantum:
+                still_active.append(core)
+        active = still_active
+
+
+def split_by_core(chunk: TraceChunk) -> dict[int, TraceChunk]:
+    """Partition a chunk into per-core chunks, preserving program order."""
+    result: dict[int, TraceChunk] = {}
+    for core in np.unique(chunk.cores):
+        mask = chunk.cores == core
+        result[int(core)] = TraceChunk(
+            chunk.addresses[mask], chunk.kinds[mask], chunk.cores[mask], chunk.pcs[mask]
+        )
+    return result
+
+
+def map_chunks(
+    stream: TraceStream, transform: Callable[[TraceChunk], TraceChunk]
+) -> Iterator[TraceChunk]:
+    """Apply ``transform`` to every chunk of ``stream``."""
+    for chunk in stream:
+        yield transform(chunk)
+
+
+def limit(stream: TraceStream, max_accesses: int) -> Iterator[TraceChunk]:
+    """Truncate a stream after ``max_accesses`` transactions."""
+    remaining = max_accesses
+    for chunk in stream:
+        if remaining <= 0:
+            return
+        if len(chunk) <= remaining:
+            remaining -= len(chunk)
+            yield chunk
+        else:
+            yield chunk[:remaining]
+            return

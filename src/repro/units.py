@@ -1,0 +1,78 @@
+"""Size and address units used throughout the package.
+
+The paper quotes cache sizes in megabytes (4 MB to 256 MB), line sizes in
+bytes (64 B to 4096 B), and working-set sizes in megabytes.  All internal
+arithmetic uses plain byte counts; this module provides the constants and
+small helpers that keep call sites readable (``32 * MB`` instead of
+``33554432``).
+"""
+
+from __future__ import annotations
+
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+
+#: Dragonhead's supported last-level-cache size envelope (Section 3.1).
+DRAGONHEAD_MIN_CACHE: int = 1 * MB
+DRAGONHEAD_MAX_CACHE: int = 256 * MB
+
+#: Dragonhead's supported cache-line size envelope (Section 3.1).
+DRAGONHEAD_MIN_LINE: int = 64
+DRAGONHEAD_MAX_LINE: int = 4096
+
+#: Cache sizes swept in Figures 4-6 (4 MB to 256 MB, powers of two).
+PAPER_CACHE_SWEEP: tuple[int, ...] = tuple(s * MB for s in (4, 8, 16, 32, 64, 128, 256))
+
+#: Line sizes swept in Figure 7 (64 B to 4 KB, powers of two).
+PAPER_LINE_SWEEP: tuple[int, ...] = (64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def format_size(num_bytes: int | float) -> str:
+    """Render a byte count the way the paper does (``64B``, ``512KB``, ``32MB``).
+
+    >>> format_size(64)
+    '64B'
+    >>> format_size(32 * MB)
+    '32MB'
+    """
+    num = float(num_bytes)
+    for unit, name in ((GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if num >= unit:
+            scaled = num / unit
+            if scaled == int(scaled):
+                return f"{int(scaled)}{name}"
+            return f"{scaled:.1f}{name}"
+    if num == int(num):
+        return f"{int(num)}B"
+    return f"{num:.1f}B"
+
+
+def parse_size(text: str) -> int:
+    """Parse a human-readable size string such as ``'32MB'`` or ``'64B'``.
+
+    Inverse of :func:`format_size` for the exact-integer cases.
+
+    >>> parse_size('32MB') == 32 * MB
+    True
+    """
+    text = text.strip().upper()
+    for suffix, unit in (("GB", GB), ("MB", MB), ("KB", KB), ("B", 1)):
+        if text.endswith(suffix):
+            return int(float(text[: -len(suffix)]) * unit)
+    return int(text)
+
+
+def line_number(address: int, line_size: int) -> int:
+    """Return the cache-line index that ``address`` falls in."""
+    return address // line_size
+
+
+def align_down(address: int, granule: int) -> int:
+    """Align ``address`` down to a multiple of ``granule``."""
+    return address - (address % granule)

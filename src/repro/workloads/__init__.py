@@ -1,0 +1,28 @@
+"""The paper's eight workloads: kernels, memory models, calibration.
+
+Each workload (SNP, SVM-RFE, RSEARCH, FIMI, PLSA, MDS, SHOT, VIEWTYPE)
+is exposed as a :class:`~repro.workloads.base.Workload` that bundles:
+
+* the *real kernel* — the instrumented mining algorithm from
+  :mod:`repro.mining`, which emits genuine memory traces at reduced
+  scale for the exact simulation path;
+* the *memory model* — a calibrated
+  :class:`~repro.workloads.models.WorkloadMemoryModel` that predicts
+  paper-scale cache behaviour analytically (Figures 4-7, Table 2).
+
+Use :func:`get_workload` / :func:`all_workloads` from
+:mod:`repro.workloads.registry`.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.models import AccessComponent, WorkloadMemoryModel
+from repro.workloads.registry import all_workloads, get_workload, WORKLOAD_NAMES
+
+__all__ = [
+    "Workload",
+    "AccessComponent",
+    "WorkloadMemoryModel",
+    "get_workload",
+    "all_workloads",
+    "WORKLOAD_NAMES",
+]

@@ -1,0 +1,37 @@
+"""FIMI: frequent-itemset mining with FP-growth."""
+
+from __future__ import annotations
+
+from repro.mining.datasets import transactions
+from repro.mining.fpgrowth import fp_growth
+from repro.workloads.base import Workload
+from repro.workloads.profiles import CATEGORIES, PAPER_TABLE1, memory_model
+
+
+def build() -> Workload:
+    """The FIMI workload (Section 2.3): the FP-Zhu three-stage pipeline."""
+
+    def kernel_factory(thread_id: int, threads: int, seed: int):
+        def kernel(recorder, arena):
+            # Category B: every thread mines a portion of the same tree
+            # (shared dataset/seed); private conditional trees are the
+            # per-thread increment.
+            data = transactions(
+                n_transactions=240, n_items=40, avg_length=6, seed=23
+            )
+            share = max(1, len(data) // max(1, threads))
+            subset = data[thread_id * share : (thread_id + 1) * share] or data[:share]
+            return fp_growth(subset, min_support=8, recorder=recorder, arena=arena)
+
+        return kernel
+
+    return Workload(
+        name="FIMI",
+        description="Frequent-itemset mining: first scan, FP-tree "
+        "construction, and recursive FP-growth (Kosarak-like transactions).",
+        category=CATEGORIES["FIMI"],
+        model=memory_model("FIMI"),
+        kernel_factory=kernel_factory,
+        table1_parameters=PAPER_TABLE1["FIMI"][0],
+        table1_dataset=PAPER_TABLE1["FIMI"][1],
+    )

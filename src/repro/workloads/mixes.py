@@ -1,0 +1,110 @@
+"""Multiprogrammed workload mixes on one CMP.
+
+The paper runs each workload alone across all cores, but CMP last-level
+caches exist to be *shared* — consolidation (different applications on
+different cores of one chip) is the natural follow-on study, and the
+substrate supports it directly:
+
+* :func:`mixed_guest` builds one :class:`GuestWorkload` whose cores are
+  partitioned among several workloads (exact path);
+* :func:`mixed_profile` composes the workloads' reuse profiles with
+  instruction-share weights (model path), so mixed-LLC MPKI curves come
+  from the same machinery as Figures 4-6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.softsdv import GuestWorkload
+from repro.errors import ConfigurationError
+from repro.reuse.histogram import ReuseProfile
+from repro.trace.stream import chunk_stream
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class MixEntry:
+    """One workload's share of the CMP."""
+
+    workload: Workload
+    cores: int
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError(f"cores must be positive, got {self.cores}")
+
+
+def mixed_guest(
+    entries: list[MixEntry],
+    accesses_per_thread: int = 65536,
+    scale: float = 1 / 256,
+    seed: int = 0,
+) -> GuestWorkload:
+    """A guest whose virtual cores are partitioned among workloads.
+
+    Core ids are assigned in entry order: the first entry's workload
+    occupies cores ``0 .. cores-1``, and so on.  Per-core instruction
+    ratios follow each core's own workload.
+    """
+    if not entries:
+        raise ConfigurationError("a mix needs at least one entry")
+    total = sum(e.cores for e in entries)
+    ratios: list[float] = []
+    for entry in entries:
+        ratios.extend(
+            [entry.workload.fsb_instructions_per_access()] * entry.cores
+        )
+
+    def thread_streams(n: int):
+        if n != total:
+            raise ConfigurationError(
+                f"mix defines {total} cores but {n} were requested"
+            )
+        streams = []
+        core = 0
+        for entry in entries:
+            for local in range(entry.cores):
+                trace = entry.workload.synthetic_thread_trace(
+                    thread_id=core,
+                    threads=entry.cores,
+                    accesses=accesses_per_thread,
+                    scale=scale,
+                    seed=seed,
+                )
+                streams.append(chunk_stream(trace))
+                core += 1
+        return streams
+
+    name = "+".join(f"{e.cores}x{e.workload.name}" for e in entries)
+    return GuestWorkload(
+        name=name,
+        thread_streams=thread_streams,
+        instructions_per_access=ratios,
+    )
+
+
+def mixed_profile(entries: list[MixEntry], line_size: int = 64) -> ReuseProfile:
+    """The composed reuse profile of a heterogeneous mix.
+
+    Each workload contributes its thread-scaled profile weighted by its
+    share of retired instructions (cores are symmetric in issue rate to
+    first order, so the share is the core fraction).
+    """
+    if not entries:
+        raise ConfigurationError("a mix needs at least one entry")
+    total_cores = sum(e.cores for e in entries)
+    parts = []
+    for entry in entries:
+        weight = entry.cores / total_cores
+        parts.append(
+            entry.workload.model.profile(line_size, entry.cores).scaled(weight)
+        )
+    return parts[0].combine(*parts[1:])
+
+
+def mixed_llc_mpki(
+    entries: list[MixEntry], cache_size: int, line_size: int = 64
+) -> float:
+    """Shared-LLC MPKI of the mix (per 1000 aggregate instructions)."""
+    return mixed_profile(entries, line_size).miss_rate(cache_size / line_size)

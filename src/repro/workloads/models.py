@@ -1,0 +1,302 @@
+"""Phase-based analytic workload memory models.
+
+A workload's steady-state memory behaviour is modelled as a mixture of
+:class:`AccessComponent` s, each describing one data structure and how
+it is accessed:
+
+* ``cyclic`` — repeated in-order traversals with a constant byte stride
+  (streaming arrays, DP rows, frame buffers).  Under LRU every reuse
+  has stack distance equal to the structure's footprint, so the
+  miss-versus-capacity curve is a step at the working-set size; and
+  because consecutive elements share cache lines, the *line-crossing*
+  access rate — hence the MPKI when the structure does not fit — scales
+  as ``stride / line_size``: the near-linear Figure 7 improvement.
+* ``random`` — uniform references into a region (hash probes, scattered
+  matrix reads).  The stack distance is uniform over the footprint, so
+  misses decline linearly with capacity; footprint lines and cache
+  lines scale together with line size, so these accesses gain nothing
+  from longer lines: the "not that significant" Figure 7 cases.
+* ``pointer`` — like ``random`` but not detectable by a stride
+  prefetcher (linked traversals); used by the Figure 8 coverage model.
+
+Components are ``shared`` (all threads reference one instance) or
+``private`` (each thread owns a copy).  Thread scaling follows the
+Section 4.3 taxonomy via :mod:`repro.reuse.interleave`: shared profiles
+pass through unchanged, private profiles dilate by the thread count.
+
+Rates are in accesses per 1000 instructions.  ``apki64`` is the
+component's *line-crossing* rate at 64-byte lines — the quantity cache
+miss rates are proportional to — from which the raw element-access rate
+is derived via the stride.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import CalibrationError, ConfigurationError
+from repro.reuse.histogram import ReuseProfile
+from repro.reuse.interleave import dilate_private
+from repro.units import KB, MB
+
+PATTERNS = ("cyclic", "random", "pointer", "stream", "fresh")
+SHARINGS = ("shared", "private")
+
+#: Fraction of a cyclic/pointer component's reuse mass spread around the
+#: nominal working set (phase drift, competing structures); the rest
+#: sits exactly at the footprint.  The spread spans 0.6x-1.4x of the
+#: footprint, so curves decline gradually near the knee the way the
+#: paper's measured curves do, instead of as pure steps.
+SMOOTHING = 0.4
+SPREAD_LOW = 0.6
+SPREAD_HIGH = 1.4
+
+#: Private working sets at or below this size are re-warmed within one
+#: DEX scheduling quantum: the platform time-slices virtual cores for
+#: milliseconds at a time, so a small per-thread structure is reused
+#: thousands of times inside its own slice and its reuse distances are
+#: NOT dilated by other threads' traffic.  Only private structures whose
+#: reuse period exceeds a slice (bigger footprints) interleave with the
+#: other cores' data in the shared LLC.
+SLICE_RESIDENT_BYTES = 512 * KB
+
+
+@dataclass(frozen=True)
+class AccessComponent:
+    """One data structure and its access pattern.
+
+    Attributes:
+        name: label (used in reports and prefetch attribution).
+        pattern: ``cyclic`` / ``random`` / ``pointer`` (see module docs).
+        region_bytes: footprint of one instance of the structure.
+        apki64: line-crossing accesses per 1000 instructions at 64 B
+            lines, single-threaded.
+        stride: byte stride of successive accesses (cyclic only).
+        sharing: ``shared`` or ``private`` (per-thread copies).
+    """
+
+    name: str
+    pattern: str
+    region_bytes: float
+    apki64: float
+    stride: int = 8
+    sharing: str = "shared"
+
+    def __post_init__(self) -> None:
+        if self.pattern not in PATTERNS:
+            raise ConfigurationError(f"unknown pattern {self.pattern!r}")
+        if self.sharing not in SHARINGS:
+            raise ConfigurationError(f"unknown sharing {self.sharing!r}")
+        if self.region_bytes <= 0 or self.apki64 < 0 or self.stride <= 0:
+            raise ConfigurationError(
+                f"component {self.name!r}: region/stride must be positive, rate non-negative"
+            )
+
+    # -- rate accounting ----------------------------------------------------
+
+    @property
+    def raw_apki(self) -> float:
+        """Element accesses per 1000 instructions.
+
+        For a strided scan with stride < 64, several consecutive element
+        accesses fall on each 64 B line, so the element rate exceeds the
+        line-crossing rate by 64/stride.
+        """
+        if self.pattern in ("cyclic", "stream"):
+            return self.apki64 * max(1.0, 64.0 / self.stride)
+        return self.apki64  # random / pointer / fresh: one line per access
+
+    def crossing_apki(self, line_size: int) -> float:
+        """Line-crossing accesses per 1000 instructions at ``line_size``."""
+        if self.pattern in ("cyclic", "stream"):
+            return self.raw_apki * min(1.0, self.stride / line_size)
+        # Random/pointer references land on a fresh line every time.
+        return self.apki64
+
+    @property
+    def prefetchable(self) -> bool:
+        """Whether a stride prefetcher can cover this component's misses."""
+        return self.pattern in ("cyclic", "stream")
+
+    # -- reuse profile ------------------------------------------------------------
+
+    def profile(
+        self,
+        line_size: int = 64,
+        threads: int = 1,
+        *,
+        smoothing: float | None = None,
+        slice_resident_bytes: float | None = None,
+    ) -> ReuseProfile:
+        """Stack-distance profile of this component at a line size/thread count.
+
+        The keyword overrides exist for ablation studies: ``smoothing``
+        replaces the module-level :data:`SMOOTHING` (0 gives pure step
+        responses), ``slice_resident_bytes`` replaces
+        :data:`SLICE_RESIDENT_BYTES` (0 dilates every private structure).
+        """
+        if line_size <= 0 or threads <= 0:
+            raise ConfigurationError("line_size and threads must be positive")
+        smoothing = SMOOTHING if smoothing is None else smoothing
+        if not 0 <= smoothing < 1:
+            raise ConfigurationError(f"smoothing must be in [0, 1), got {smoothing}")
+        slice_resident = (
+            SLICE_RESIDENT_BYTES if slice_resident_bytes is None else slice_resident_bytes
+        )
+        footprint_lines = max(1.0, self.region_bytes / line_size)
+        crossing = self.crossing_apki(line_size)
+        same_line = max(0.0, self.raw_apki - crossing)
+        if self.pattern in ("stream", "fresh"):
+            # Fresh data flowing past: never reused at any capacity.
+            # ``stream`` is sequential (gains from longer lines);
+            # ``fresh`` is scattered (line-size neutral).
+            reuse = ReuseProfile.streaming(crossing)
+        elif self.pattern == "random":
+            reuse = ReuseProfile.uniform(footprint_lines, crossing)
+        else:  # cyclic / pointer: working set at the footprint + spread
+            reuse = ReuseProfile.point(footprint_lines, crossing * (1.0 - smoothing))
+            if smoothing > 0:
+                reuse = reuse.combine(
+                    ReuseProfile.uniform_range(
+                        SPREAD_LOW * footprint_lines,
+                        SPREAD_HIGH * footprint_lines,
+                        crossing * smoothing,
+                    )
+                )
+        if self.sharing == "private" and self.region_bytes > slice_resident:
+            reuse = dilate_private(reuse, threads)
+        if same_line > 0:
+            # Accesses that stay within the previously touched line hit
+            # at any capacity: distance below one line.
+            reuse = reuse.combine(ReuseProfile.point(0.5, same_line))
+        return reuse
+
+
+class WorkloadMemoryModel:
+    """The composed memory model of one workload.
+
+    Args:
+        name: workload name.
+        components: the calibrated component mixture.
+        mem_fraction: fraction of instructions that reference memory
+            (Table 2's "% Memory Instructions").
+        read_fraction: fraction of memory references that are reads.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        components: Sequence[AccessComponent],
+        mem_fraction: float,
+        read_fraction: float,
+    ) -> None:
+        if not 0 < mem_fraction <= 1 or not 0 < read_fraction <= 1:
+            raise ConfigurationError("fractions must be in (0, 1]")
+        self.name = name
+        self.components = tuple(components)
+        self.mem_fraction = mem_fraction
+        self.read_fraction = read_fraction
+        budget = self.apki
+        used = sum(c.raw_apki for c in self.components)
+        if used > budget * 1.02:
+            raise CalibrationError(
+                f"{name}: component access rates ({used:.1f}/1000 inst) exceed "
+                f"the memory-instruction budget ({budget:.1f}/1000 inst)"
+            )
+
+    @property
+    def apki(self) -> float:
+        """Total memory accesses per 1000 instructions (Table 2 column)."""
+        return self.mem_fraction * 1000.0
+
+    @property
+    def instructions_per_access(self) -> float:
+        return 1.0 / self.mem_fraction
+
+    def profile(self, line_size: int = 64, threads: int = 1, **overrides) -> ReuseProfile:
+        """The composed reuse profile at a line size and thread count.
+
+        ``overrides`` (``smoothing``, ``slice_resident_bytes``) are
+        forwarded to every component for ablation studies.
+        """
+        profiles = [c.profile(line_size, threads, **overrides) for c in self.components]
+        if not profiles:
+            return ReuseProfile.empty()
+        return profiles[0].combine(*profiles[1:])
+
+    # -- cache metrics -------------------------------------------------------
+
+    def llc_mpki(
+        self, cache_size: int, line_size: int = 64, threads: int = 1, **overrides
+    ) -> float:
+        """Shared-LLC misses per 1000 instructions (the figures' y-axis)."""
+        return self.profile(line_size, threads, **overrides).miss_rate(
+            cache_size / line_size
+        )
+
+    def dl1_mpki(self, l1_size: int = 8 * KB, line_size: int = 64) -> float:
+        """Single-thread L1 MPKI at the Table 2 machine's 8 KB L1."""
+        return self.profile(line_size, 1).miss_rate(l1_size / line_size)
+
+    def dl2_mpki(self, l2_size: int = 512 * KB, line_size: int = 64) -> float:
+        """Single-thread L2 MPKI at the Table 2 machine's 512 KB L2."""
+        return self.profile(line_size, 1).miss_rate(l2_size / line_size)
+
+    def footprint_bytes(self, threads: int = 1) -> float:
+        """Resident working-set estimate across all components.
+
+        Never-reused traffic (``stream``/``fresh``) flows past without
+        being part of the resident set, so it is excluded.
+        """
+        total = 0.0
+        for c in self.components:
+            if c.pattern in ("stream", "fresh"):
+                continue
+            multiplier = threads if c.sharing == "private" else 1
+            total += c.region_bytes * multiplier
+        return total
+
+    # -- prefetch attribution --------------------------------------------------
+
+    def prefetchable_miss_fraction(
+        self, cache_size: int = 512 * KB, line_size: int = 64, threads: int = 1
+    ) -> float:
+        """Fraction of misses at ``cache_size`` from stride-detectable streams.
+
+        Drives the Figure 8 coverage model: only ``cyclic`` components
+        are covered by a stride prefetcher.
+        """
+        capacity_lines = cache_size / line_size
+        covered = 0.0
+        total = 0.0
+        for component in self.components:
+            miss = component.profile(line_size, threads).miss_rate(capacity_lines)
+            total += miss
+            if component.prefetchable:
+                covered += miss
+        return covered / total if total else 0.0
+
+
+def hot_component(name: str, used_apki: float, total_apki: float, region_bytes: float = 4 * KB) -> AccessComponent:
+    """The residual hot working set (stack, locals, hot tables).
+
+    Table 2's DL1 column fixes how many accesses per 1000 instructions
+    must *hit* an 8 KB L1; everything the explicitly calibrated
+    components do not use is assigned to a small cyclic region that hits
+    every level.
+    """
+    remainder = total_apki - used_apki
+    if remainder <= 0:
+        raise CalibrationError(
+            f"{name}: no access budget left for the hot set "
+            f"(used {used_apki:.1f} of {total_apki:.1f})"
+        )
+    return AccessComponent(
+        name=f"{name}-hot",
+        pattern="cyclic",
+        region_bytes=region_bytes,
+        apki64=remainder / 8.0,  # stride 8 → raw = apki64 * 8
+        stride=8,
+        sharing="private",
+    )

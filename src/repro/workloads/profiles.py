@@ -1,0 +1,253 @@
+"""Paper-reported values and per-workload model calibration.
+
+This module is the single home of every number taken from the paper:
+
+* :data:`PAPER_TABLE1` — input parameters and dataset sizes (Table 1);
+* :data:`PAPER_TABLE2` — single-thread workload characteristics
+  (Table 2);
+* :data:`WORKING_SETS` — the working-set sizes the paper reads off
+  Figures 4-6 for SCMP/MCMP/LCMP;
+* :data:`CATEGORIES` — the Section 4.3 sharing taxonomy;
+* :data:`LINE_RESPONDERS` — the workloads Figure 7 singles out for
+  near-linear miss reduction with larger lines;
+* the calibrated :class:`AccessComponent` mixtures that make the
+  analytic models reproduce those targets.
+
+Calibration recipe (documented in DESIGN.md §5): per workload, the
+component line-crossing rates are anchored to Table 2 — components
+whose footprint exceeds 512 KB carry exactly the DL2 MPKI, components
+between 8 KB and 512 KB carry DL1−DL2, and the residual access budget
+goes to a hot set that always hits — while component footprints are the
+Figure 4-6 working sets and the pattern mix (cyclic vs random) follows
+Figure 7's spatial-locality findings.  CPI parameters (``base_cpi``,
+``exposure``) are fitted to Table 2's IPC column and documented as
+calibrated, not predicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import KB, MB
+from repro.workloads.models import AccessComponent, WorkloadMemoryModel, hot_component
+
+WORKLOAD_NAMES = ("SNP", "SVM-RFE", "RSEARCH", "FIMI", "PLSA", "MDS", "SHOT", "VIEWTYPE")
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of the paper's Table 2."""
+
+    ipc: float
+    instructions_billions: float
+    mem_instruction_pct: float
+    mem_read_pct: float
+    dl1_accesses_pki: float
+    dl1_mpki: float
+    dl2_mpki: float
+
+    @property
+    def mem_fraction(self) -> float:
+        return self.mem_instruction_pct / 100.0
+
+    @property
+    def read_fraction_of_mem(self) -> float:
+        """Reads as a fraction of memory instructions (paper: 56-96%)."""
+        return self.mem_read_pct / self.mem_instruction_pct
+
+
+PAPER_TABLE2: dict[str, Table2Row] = {
+    "SNP": Table2Row(0.12, 71.26, 50.75, 37.41, 508, 12.01, 7.77),
+    "SVM-RFE": Table2Row(0.87, 37.02, 45.14, 43.64, 451, 61.40, 2.96),
+    "MDS": Table2Row(0.06, 217.8, 49.34, 43.46, 493, 51.00, 18.95),
+    "SHOT": Table2Row(0.61, 15.01, 53.85, 30.66, 538, 18.86, 4.07),
+    "FIMI": Table2Row(0.51, 50.28, 47.10, 35.74, 471, 15.99, 3.76),
+    "VIEWTYPE": Table2Row(0.49, 33.61, 49.02, 36.86, 490, 31.77, 3.56),
+    "PLSA": Table2Row(1.08, 356.8, 83.10, 46.66, 831, 4.60, 0.18),
+    "RSEARCH": Table2Row(0.62, 53.9, 42.3, 33.2, 423, 10.65, 0.72),
+}
+
+PAPER_TABLE1: dict[str, tuple[str, str]] = {
+    "SNP": ("600k sequences, each with length 50", "30MB, real datasets from HGBASE"),
+    "SVM-RFE": ("253 tissue samples, each with 15k genes", "30MB, real micro-array dataset on Cancer"),
+    "RSEARCH": ("100MB database, search sequence size 100", "100MB, real datasets from Gene bank"),
+    "FIMI": ("990k transactions and mini-support=800", "30MB, real dataset Kosarak"),
+    "PLSA": ("two sequences in 30k length", "60KB, real DNA sequences from Gene bank"),
+    "MDS": ("220 pages with 25k sequences", "4.1M, synthetic dataset from web search document"),
+    "SHOT": ("10-min MPEG-2 video", "200MB, 720x576 resolution"),
+    "VIEWTYPE": ("10-min MPEG-2 video", "200MB, 720x576 resolution"),
+}
+
+#: Section 4.3's sharing taxonomy: A = one shared primary structure,
+#: B = shared structure + small private per-thread data, C = mostly
+#: private per-thread working sets.
+CATEGORIES: dict[str, str] = {
+    "SNP": "A",
+    "SVM-RFE": "A",
+    "MDS": "A",
+    "PLSA": "A",
+    "FIMI": "B",
+    "RSEARCH": "B",
+    "SHOT": "C",
+    "VIEWTYPE": "C",
+}
+
+#: Working-set sizes (bytes) the paper reads off Figures 4-6, per CMP.
+#: SNP has two working sets on SCMP; MDS exceeds every simulated size.
+WORKING_SETS: dict[str, dict[int, tuple[int, ...]]] = {
+    "SNP": {8: (16 * MB, 128 * MB), 16: (16 * MB, 128 * MB), 32: (16 * MB, 128 * MB)},
+    "SVM-RFE": {8: (4 * MB,), 16: (4 * MB,), 32: (4 * MB,)},
+    "PLSA": {8: (4 * MB,), 16: (4 * MB,), 32: (4 * MB,)},
+    "RSEARCH": {8: (4 * MB,), 16: (8 * MB,), 32: (16 * MB,)},
+    "FIMI": {8: (16 * MB,), 16: (16 * MB,), 32: (32 * MB,)},
+    "SHOT": {8: (32 * MB,), 16: (64 * MB,), 32: (128 * MB,)},
+    "VIEWTYPE": {8: (16 * MB,), 16: (32 * MB,), 32: (64 * MB,)},
+    "MDS": {8: (300 * MB,), 16: (300 * MB,), 32: (300 * MB,)},
+}
+
+#: Figure 7: workloads with near-linear miss reduction from 64B→256B.
+LINE_RESPONDERS = ("SHOT", "MDS", "SNP", "SVM-RFE")
+
+#: Figure 8: workloads whose *parallel* (16-thread) runs gain more from
+#: prefetching than serial runs, and the two bandwidth-bound exceptions.
+PREFETCH_PARALLEL_WINNERS = ("VIEWTYPE", "FIMI", "PLSA", "RSEARCH", "SHOT", "SVM-RFE")
+PREFETCH_SERIAL_WINNERS = ("SNP", "MDS")
+
+
+@dataclass(frozen=True)
+class CpiParameters:
+    """Calibrated CPI-stack parameters (see module docstring)."""
+
+    base_cpi: float
+    exposure: float  # fraction of miss latency not hidden by MLP/OoO
+
+    #: Table 2 machine latencies (cycles): L2 hit and memory access on a
+    #: NetBurst-era system with a loaded front-side bus.
+
+
+L2_LATENCY = 18.0
+MEMORY_LATENCY = 700.0
+
+CPI_PARAMETERS: dict[str, CpiParameters] = {
+    # Fitted so the CPI stack reproduces Table 2's IPC given the paper's
+    # DL1/DL2 miss rates; exposure < 1 reflects overlap (streaming
+    # workloads hide most of their miss latency).
+    "SNP": CpiParameters(base_cpi=2.80, exposure=1.00),
+    "SVM-RFE": CpiParameters(base_cpi=0.50, exposure=0.21),
+    "MDS": CpiParameters(base_cpi=2.80, exposure=1.00),
+    "SHOT": CpiParameters(base_cpi=0.70, exposure=0.30),
+    "FIMI": CpiParameters(base_cpi=1.00, exposure=0.34),
+    "VIEWTYPE": CpiParameters(base_cpi=1.00, exposure=0.35),
+    "PLSA": CpiParameters(base_cpi=0.80, exposure=0.60),
+    "RSEARCH": CpiParameters(base_cpi=1.30, exposure=0.46),
+}
+
+
+def _components(name: str) -> list[AccessComponent]:
+    """The calibrated component mixture of one workload (no hot set).
+
+    Per workload: a ``stream`` floor (fresh data flowing past, which
+    keeps large-cache MPKI non-zero and carries line-size gains), the
+    big structures whose footprints are the Figure 4-6 working sets,
+    and an L2-resident component carrying Table 2's DL1−DL2 rate.
+    """
+    if name == "SNP":
+        # Bayesian-network hill climbing over the 600k x 50 genotype
+        # matrix: two shared working sets (counting caches at ~16 MB,
+        # the full matrix at ~128 MB), column scans giving strong
+        # spatial locality (Figure 7 responder).
+        return [
+            AccessComponent("snp-stream", "stream", 16 * MB, 0.40, stride=8),
+            AccessComponent("snp-counts", "cyclic", 15 * MB, 4.20, stride=8),
+            AccessComponent("snp-matrix", "cyclic", 120 * MB, 2.40, stride=8),
+            AccessComponent("snp-index", "random", 15 * MB, 0.77),
+            AccessComponent("snp-l2", "random", 128 * KB, 12.01 - 7.77),
+        ]
+    if name == "SVM-RFE":
+        # Data-blocked kernel-matrix re-scans: a 4 MB shared active set
+        # (the paper footnotes blocking as why it differs from prior
+        # work), streamed with wide strides.
+        return [
+            AccessComponent("svm-stream", "stream", 4 * MB, 0.20, stride=8),
+            AccessComponent("svm-active", "cyclic", 3.7 * MB, 2.30, stride=8),
+            AccessComponent("svm-alpha", "random", 3.7 * MB, 0.46),
+            AccessComponent("svm-tile", "cyclic", 256 * KB, 61.40 - 2.96, stride=32),
+        ]
+    if name == "MDS":
+        # Query-biased ranking over a 300 MB sparse matrix: streamed
+        # with constant stride each power iteration (no simulated cache
+        # holds it → the flat Figure 4 curve), plus scattered index
+        # lookups.
+        return [
+            AccessComponent("mds-matrix", "cyclic", 300 * MB, 17.00, stride=8),
+            AccessComponent("mds-index", "random", 300 * MB, 1.95),
+            AccessComponent("mds-l2", "random", 256 * KB, 51.00 - 18.95),
+        ]
+    if name == "SHOT":
+        # Video streaming in (never reused) plus ~3 MB of private frame
+        # state per thread: the paper's category-C example with ~4 MB
+        # per thread and near-linear Figure 7 gains.
+        return [
+            AccessComponent("shot-stream", "stream", 4 * MB, 2.20, stride=8, sharing="private"),
+            AccessComponent("shot-frames", "cyclic", 2.6 * MB, 1.30, stride=8, sharing="private"),
+            AccessComponent("shot-hist", "random", 800 * KB, 0.57, sharing="private"),
+            AccessComponent("shot-l2", "cyclic", 128 * KB, 18.86 - 4.07, stride=16, sharing="private"),
+        ]
+    if name == "FIMI":
+        # FP-growth: a big shared read-only FP-tree walked by pointer
+        # chasing, streaming transaction input, and private conditional
+        # trees per thread (category B).
+        return [
+            AccessComponent("fimi-stream", "stream", 13 * MB, 0.25, stride=8),
+            AccessComponent("fimi-fresh", "fresh", 13 * MB, 0.45),
+            AccessComponent("fimi-tree", "pointer", 12 * MB, 2.80),
+            AccessComponent("fimi-private", "random", 1 * MB, 0.56, sharing="private"),
+            AccessComponent("fimi-l2", "random", 128 * KB, 15.99 - 3.76),
+        ]
+    if name == "VIEWTYPE":
+        # Frame input streams in; segmentation masks/labels are private
+        # per-thread state revisited with poor spatial order (the
+        # wide-stride scan), so Figure 7 gains are modest.
+        return [
+            AccessComponent("view-stream", "stream", 2 * MB, 1.00, stride=8, sharing="private"),
+            AccessComponent("view-frames", "cyclic", 1.7 * MB, 2.30, stride=128, sharing="private"),
+            AccessComponent("view-labels", "random", 720 * KB, 0.56, sharing="private"),
+            AccessComponent("view-l2", "random", 192 * KB, 31.77 - 3.56, sharing="private"),
+        ]
+    if name == "PLSA":
+        # Smith-Waterman wavefront: tiny rolling rows (almost everything
+        # hits), a modest shared sequence window, trivial private state.
+        return [
+            AccessComponent("plsa-stream", "stream", 4 * MB, 0.02, stride=8),
+            AccessComponent("plsa-fresh", "fresh", 4 * MB, 0.03),
+            AccessComponent("plsa-sequences", "cyclic", 3.6 * MB, 0.10, stride=8),
+            AccessComponent("plsa-scatter", "random", 3.6 * MB, 0.03),
+            AccessComponent("plsa-private", "random", 48 * KB, 0.03, sharing="private"),
+            AccessComponent("plsa-rows", "cyclic", 64 * KB, (4.60 - 0.18) - 0.03, stride=32),
+        ]
+    if name == "RSEARCH":
+        # CYK database scan: the shared database streams forward, each
+        # thread re-reads a window of it and owns a private DP chart
+        # (category B: working set 4→8→16 MB as cores scale).
+        return [
+            AccessComponent("rsearch-stream", "stream", 2 * MB, 0.08, stride=8),
+            AccessComponent("rsearch-fresh", "fresh", 2 * MB, 0.14),
+            AccessComponent("rsearch-db", "cyclic", 1.4 * MB, 0.50, stride=8),
+            AccessComponent("rsearch-chart", "random", 560 * KB, 0.20, sharing="private"),
+            AccessComponent("rsearch-l2", "random", 128 * KB, 10.65 - 0.72),
+        ]
+    raise KeyError(f"unknown workload {name!r}")
+
+
+def memory_model(name: str) -> WorkloadMemoryModel:
+    """Build the calibrated memory model for ``name``."""
+    row = PAPER_TABLE2[name]
+    components = _components(name)
+    used = sum(c.raw_apki for c in components)
+    components.append(hot_component(name, used, row.dl1_accesses_pki))
+    return WorkloadMemoryModel(
+        name=name,
+        components=components,
+        mem_fraction=row.mem_fraction,
+        read_fraction=row.read_fraction_of_mem,
+    )

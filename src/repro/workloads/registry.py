@@ -1,0 +1,37 @@
+"""Workload registry: name → built Workload."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.workloads import fimi, mds, plsa, rsearch, shot, snp, svmrfe, viewtype
+from repro.workloads.base import Workload
+from repro.workloads.profiles import WORKLOAD_NAMES
+
+_BUILDERS = {
+    "SNP": snp.build,
+    "SVM-RFE": svmrfe.build,
+    "RSEARCH": rsearch.build,
+    "FIMI": fimi.build,
+    "PLSA": plsa.build,
+    "MDS": mds.build,
+    "SHOT": shot.build,
+    "VIEWTYPE": viewtype.build,
+}
+
+
+@lru_cache(maxsize=None)
+def get_workload(name: str) -> Workload:
+    """Return the named workload (case-insensitive; see WORKLOAD_NAMES)."""
+    key = name.upper()
+    try:
+        return _BUILDERS[key]()
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(WORKLOAD_NAMES)}"
+        ) from None
+
+
+def all_workloads() -> list[Workload]:
+    """All eight workloads in the paper's Table 1 order."""
+    return [get_workload(name) for name in WORKLOAD_NAMES]

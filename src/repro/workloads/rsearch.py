@@ -1,0 +1,40 @@
+"""RSEARCH: RNA homolog search by SCFG/CYK database scanning."""
+
+from __future__ import annotations
+
+from repro.mining.scfg import traced_rsearch_kernel
+from repro.workloads.base import Workload
+from repro.workloads.profiles import CATEGORIES, PAPER_TABLE1, memory_model
+
+
+def build() -> Workload:
+    """The RSEARCH workload (Section 2.2): CYK scans over a database."""
+
+    def kernel_factory(thread_id: int, threads: int, seed: int):
+        def kernel(recorder, arena):
+            # Category B: the database is shared; each thread scans its
+            # own slice (same addresses, different offsets) and owns a
+            # private CYK chart.
+            length = 360
+            slice_length = max(64, length // max(1, threads))
+            return traced_rsearch_kernel(
+                recorder,
+                arena,
+                database_length=slice_length,
+                window=16,
+                step=8,
+                seed=13,
+            )
+
+        return kernel
+
+    return Workload(
+        name="RSEARCH",
+        description="RNA secondary-structure homolog search: CYK decoding of "
+        "a stochastic context-free grammar over a sequence database.",
+        category=CATEGORIES["RSEARCH"],
+        model=memory_model("RSEARCH"),
+        kernel_factory=kernel_factory,
+        table1_parameters=PAPER_TABLE1["RSEARCH"][0],
+        table1_dataset=PAPER_TABLE1["RSEARCH"][1],
+    )

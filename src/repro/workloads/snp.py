@@ -1,0 +1,36 @@
+"""SNP: Bayesian-network structure learning over genotype data."""
+
+from __future__ import annotations
+
+from repro.mining.bayesnet import traced_snp_kernel
+from repro.workloads.base import Workload
+from repro.workloads.profiles import CATEGORIES, PAPER_TABLE1, memory_model
+
+
+def build() -> Workload:
+    """The SNP workload (Section 2.1): hill-climbing BN learning."""
+
+    def kernel_factory(thread_id: int, threads: int, seed: int):
+        def kernel(recorder, arena):
+            # All threads search the same genotype matrix (category A);
+            # each explores from a different operation ordering.
+            return traced_snp_kernel(
+                recorder,
+                arena,
+                n_sequences=120,
+                length=10,
+                seed=7,  # shared dataset: identical addresses across threads
+            )
+
+        return kernel
+
+    return Workload(
+        name="SNP",
+        description="Bayesian-network structure learning on SNP genotype "
+        "sequences via hill climbing (HGBASE-like data).",
+        category=CATEGORIES["SNP"],
+        model=memory_model("SNP"),
+        kernel_factory=kernel_factory,
+        table1_parameters=PAPER_TABLE1["SNP"][0],
+        table1_dataset=PAPER_TABLE1["SNP"][1],
+    )

@@ -1,0 +1,32 @@
+"""VIEWTYPE: sports-video view-type classification."""
+
+from __future__ import annotations
+
+from repro.mining.video import traced_viewtype_kernel
+from repro.workloads.base import Workload
+from repro.workloads.profiles import CATEGORIES, PAPER_TABLE1, memory_model
+
+
+def build() -> Workload:
+    """The VIEWTYPE workload (Section 2.6): dominant-color playfield analysis."""
+
+    def kernel_factory(thread_id: int, threads: int, seed: int):
+        def kernel(recorder, arena):
+            # Category C: per-thread frame spans, disjoint address ranges.
+            return traced_viewtype_kernel(
+                recorder, arena, n_frames=10, height=20, width=24, seed=37 + thread_id
+            )
+
+        return kernel
+
+    return Workload(
+        name="VIEWTYPE",
+        description="View-type classification (global/medium/close-up/out "
+        "of view) via HSV dominant-color playfield segmentation and "
+        "connected-component analysis.",
+        category=CATEGORIES["VIEWTYPE"],
+        model=memory_model("VIEWTYPE"),
+        kernel_factory=kernel_factory,
+        table1_parameters=PAPER_TABLE1["VIEWTYPE"][0],
+        table1_dataset=PAPER_TABLE1["VIEWTYPE"][1],
+    )

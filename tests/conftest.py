@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.generators import Region, cyclic_scan, uniform_random
+from repro.trace.record import TraceChunk
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_region() -> Region:
+    return Region(base=0x1000_0000, size=64 * 1024)
+
+
+@pytest.fixture
+def mixed_trace(rng, small_region) -> TraceChunk:
+    """A deterministic trace mixing a scan and random probes."""
+    scan = cyclic_scan(small_region, passes=2, stride=8, rng=rng)
+    probes = uniform_random(
+        Region(base=0x2000_0000, size=32 * 1024), count=4096, rng=rng
+    )
+    return TraceChunk.concatenate([scan[:4096], probes, scan[4096:8192]])

@@ -1,0 +1,93 @@
+"""Tests for Hirschberg linear-space global alignment."""
+
+import numpy as np
+import pytest
+
+from repro.mining.align import hirschberg_alignment, nw_score
+from repro.mining.datasets import dna_pair
+
+
+def brute_force_nw(a, b, match=2, mismatch=-1, gap=-1):
+    n, m = len(a), len(b)
+    h = np.zeros((n + 1, m + 1), dtype=np.int64)
+    h[:, 0] = np.arange(n + 1) * gap
+    h[0, :] = np.arange(m + 1) * gap
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            h[i, j] = max(
+                h[i - 1, j - 1] + (match if a[i - 1] == b[j - 1] else mismatch),
+                h[i - 1, j] + gap,
+                h[i, j - 1] + gap,
+            )
+    return int(h[n, m])
+
+
+class TestNWScore:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_bruteforce(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 4, size=25, dtype=np.uint8)
+        b = rng.integers(0, 4, size=30, dtype=np.uint8)
+        assert nw_score(a, b) == brute_force_nw(a, b)
+
+    def test_identical_sequences(self):
+        a = np.array([0, 1, 2, 3], dtype=np.uint8)
+        assert nw_score(a, a) == 8
+
+
+class TestHirschberg:
+    @pytest.mark.parametrize("seed", [1, 2, 5, 8])
+    def test_score_is_optimal(self, seed):
+        a, b = dna_pair(length=48, divergence=0.15, seed=seed)
+        score, _ = hirschberg_alignment(a, b)
+        assert score == nw_score(a, b)
+
+    def test_alignment_structure(self):
+        a, b = dna_pair(length=40, divergence=0.1, seed=3)
+        _, pairs = hirschberg_alignment(a, b)
+        a_indices = [i for i, _ in pairs if i is not None]
+        b_indices = [j for _, j in pairs if j is not None]
+        # Every position of both sequences appears exactly once.
+        assert sorted(a_indices) == list(range(len(a)))
+        assert sorted(b_indices) == list(range(len(b)))
+
+    def test_matched_pairs_are_monotone(self):
+        a, b = dna_pair(length=40, divergence=0.1, seed=4)
+        _, pairs = hirschberg_alignment(a, b)
+        matched = [(i, j) for i, j in pairs if i is not None and j is not None]
+        for (i1, j1), (i2, j2) in zip(matched, matched[1:]):
+            assert i2 > i1 and j2 > j1
+
+    def test_empty_inputs(self):
+        empty = np.array([], dtype=np.uint8)
+        other = np.array([1, 2], dtype=np.uint8)
+        score, pairs = hirschberg_alignment(empty, other)
+        assert score == -2  # two gaps
+        assert pairs == [(None, 0), (None, 1)]
+
+    def test_identical_sequences_align_perfectly(self):
+        a = np.array([0, 1, 2, 3, 0, 1], dtype=np.uint8)
+        score, pairs = hirschberg_alignment(a, a)
+        assert score == 12
+        assert pairs == [(i, i) for i in range(6)]
+
+
+class TestK2Score:
+    def test_k2_prefers_true_parent(self):
+        from repro.mining.bayesnet import family_k2
+
+        rng = np.random.default_rng(7)
+        parent = (rng.random(400) < 0.5).astype(np.uint8)
+        child = parent.copy()
+        flip = rng.random(400) < 0.1
+        child[flip] = 1 - child[flip]
+        data = np.stack([parent, child], axis=1)
+        assert family_k2(data, 1, (0,)) > family_k2(data, 1, ())
+
+    def test_hill_climb_with_k2(self):
+        from repro.mining.bayesnet import family_k2, hill_climb
+        from repro.mining.datasets import genotype_matrix
+
+        data = genotype_matrix(300, 8, seed=5)
+        net, score = hill_climb(data, max_parents=2, score_family=family_k2)
+        assert len(net.edges()) > 0

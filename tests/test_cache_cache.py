@@ -1,0 +1,148 @@
+"""Tests for the set-associative cache model."""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import CacheConfig, FullyAssociativeLRU, SetAssociativeCache
+from repro.errors import ConfigurationError
+from repro.trace.generators import Region, cyclic_scan, uniform_random
+from repro.trace.record import AccessKind, TraceChunk
+from repro.units import KB, MB
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        config = CacheConfig(size=32 * KB, line_size=64, associativity=8)
+        assert config.num_lines == 512
+        assert config.num_sets == 64
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size=32 * KB, line_size=48, associativity=8)
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size=1000, line_size=64, associativity=4)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size=3 * 64 * 4, line_size=64, associativity=4)
+
+    def test_fully_associative_constructor(self):
+        config = CacheConfig.fully_associative(64 * KB)
+        assert config.num_sets == 1
+        assert config.associativity == 1024
+
+    def test_describe(self):
+        text = CacheConfig(size=4 * MB, name="LLC").describe()
+        assert "4MB" in text and "LRU" in text
+
+
+class TestSetAssociativeCache:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(CacheConfig(size=8 * KB, associativity=4))
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+        assert cache.access(0x13F)  # same 64B line as 0x100
+
+    def test_capacity_eviction(self):
+        # Fully associative, 4 lines: 5 distinct lines thrash.
+        cache = SetAssociativeCache(CacheConfig.fully_associative(256, line_size=64))
+        for address in range(0, 5 * 64, 64):
+            cache.access(address)
+        assert not cache.access(0)  # line 0 was evicted
+        assert cache.stats.evictions >= 2
+
+    def test_stats_accumulate(self):
+        cache = SetAssociativeCache(CacheConfig(size=8 * KB))
+        cache.access(0, AccessKind.READ)
+        cache.access(0, AccessKind.WRITE, core=3)
+        stats = cache.stats
+        assert stats.accesses == 2
+        assert stats.reads == 1 and stats.writes == 1
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.per_core_accesses[3] == 1
+
+    def test_access_chunk_equals_scalar_loop(self):
+        chunk = uniform_random(
+            Region(0, 64 * KB), count=2000, rng=np.random.default_rng(7)
+        )
+        config = CacheConfig(size=8 * KB, associativity=4)
+        bulk = SetAssociativeCache(config)
+        bulk.access_chunk(chunk)
+        scalar = SetAssociativeCache(config)
+        for access in chunk:
+            scalar.access(access.address, access.kind, access.core)
+        assert bulk.stats.misses == scalar.stats.misses
+        assert bulk.stats.hits == scalar.stats.hits
+
+    def test_invalidate(self):
+        cache = SetAssociativeCache(CacheConfig(size=8 * KB))
+        cache.access(0x200)
+        assert cache.contains(0x200)
+        assert cache.invalidate(0x200)
+        assert not cache.contains(0x200)
+
+    def test_install_line_no_demand_stats(self):
+        cache = SetAssociativeCache(CacheConfig(size=8 * KB))
+        cache.install_line(5)
+        assert cache.stats.accesses == 0
+        assert cache.contains_line(5)
+
+    def test_flush_keeps_stats(self):
+        cache = SetAssociativeCache(CacheConfig(size=8 * KB))
+        cache.access(0x40)
+        cache.flush()
+        assert not cache.contains(0x40)
+        assert cache.stats.accesses == 1
+
+    def test_cyclic_scan_thrash_then_fit(self):
+        """The defining LRU behaviours: total thrash above capacity,
+        perfect reuse below it."""
+        region = Region(0, 32 * KB)
+        trace = cyclic_scan(region, passes=4, stride=64)
+        big = SetAssociativeCache(CacheConfig.fully_associative(64 * KB))
+        big.access_chunk(trace)
+        assert big.stats.misses == 512  # cold only
+        small = SetAssociativeCache(CacheConfig.fully_associative(16 * KB))
+        small.access_chunk(trace)
+        assert small.stats.misses == len(trace)  # every access misses
+
+
+class TestFullyAssociativeLRU:
+    def test_matches_setassoc_fully_assoc(self):
+        chunk = uniform_random(
+            Region(0, 32 * KB), count=3000, rng=np.random.default_rng(11)
+        )
+        reference = SetAssociativeCache(CacheConfig.fully_associative(8 * KB))
+        reference.access_chunk(chunk)
+        fast = FullyAssociativeLRU(capacity_lines=128)
+        fast.access_chunk(chunk)
+        assert fast.stats.misses == reference.stats.misses
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            FullyAssociativeLRU(0)
+
+    def test_eviction_order(self):
+        cache = FullyAssociativeLRU(capacity_lines=2)
+        cache.access(0)      # line 0
+        cache.access(64)     # line 1
+        cache.access(0)      # touch line 0 again
+        cache.access(128)    # evicts line 1
+        assert cache.access(0)        # still resident
+        assert not cache.access(64)   # was evicted
+
+
+class TestInclusionProperty:
+    def test_bigger_cache_never_misses_more(self):
+        """LRU inclusion: miss count is monotone non-increasing in size."""
+        chunk = uniform_random(
+            Region(0, 128 * KB), count=5000, rng=np.random.default_rng(13)
+        )
+        misses = []
+        for capacity in (32, 64, 128, 256, 512):
+            cache = FullyAssociativeLRU(capacity_lines=capacity)
+            cache.access_chunk(chunk)
+            misses.append(cache.stats.misses)
+        assert misses == sorted(misses, reverse=True)

@@ -1,0 +1,112 @@
+"""Tests for the MESI coherence layer."""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.coherence import CoherentCacheSystem, MESIState
+from repro.errors import ConfigurationError
+from repro.trace.record import AccessKind, TraceChunk
+from repro.units import KB
+
+
+def system(cores: int = 2) -> CoherentCacheSystem:
+    return CoherentCacheSystem(
+        private_config=CacheConfig(size=1 * KB, line_size=64, associativity=4),
+        cores=cores,
+    )
+
+
+class TestMESITransitions:
+    def test_read_miss_gets_exclusive(self):
+        s = system()
+        s.access(0, 0x100, AccessKind.READ)
+        assert s.state(0, 0x100) is MESIState.EXCLUSIVE
+
+    def test_second_reader_shares(self):
+        s = system()
+        s.access(0, 0x100, AccessKind.READ)
+        s.access(1, 0x100, AccessKind.READ)
+        assert s.state(0, 0x100) is MESIState.SHARED
+        assert s.state(1, 0x100) is MESIState.SHARED
+
+    def test_write_takes_modified(self):
+        s = system()
+        s.access(0, 0x100, AccessKind.WRITE)
+        assert s.state(0, 0x100) is MESIState.MODIFIED
+
+    def test_exclusive_silent_upgrade(self):
+        s = system()
+        s.access(0, 0x100, AccessKind.READ)
+        invalidations = s.stats.invalidations_sent
+        s.access(0, 0x100, AccessKind.WRITE)
+        assert s.state(0, 0x100) is MESIState.MODIFIED
+        assert s.stats.invalidations_sent == invalidations  # E→M is silent
+
+    def test_shared_upgrade_invalidates_peers(self):
+        s = system()
+        s.access(0, 0x100, AccessKind.READ)
+        s.access(1, 0x100, AccessKind.READ)
+        s.access(0, 0x100, AccessKind.WRITE)
+        assert s.state(0, 0x100) is MESIState.MODIFIED
+        assert s.state(1, 0x100) is MESIState.INVALID
+        assert s.stats.upgrades == 1
+        assert s.stats.invalidations_sent == 1
+
+    def test_read_of_modified_line_intervenes(self):
+        s = system()
+        s.access(0, 0x100, AccessKind.WRITE)
+        s.access(1, 0x100, AccessKind.READ)
+        assert s.state(0, 0x100) is MESIState.SHARED
+        assert s.state(1, 0x100) is MESIState.SHARED
+        assert s.stats.interventions == 1
+        assert s.stats.writebacks == 1
+
+    def test_write_miss_invalidates_all(self):
+        s = system(3)
+        s.access(0, 0x100, AccessKind.READ)
+        s.access(1, 0x100, AccessKind.READ)
+        s.access(2, 0x100, AccessKind.WRITE)
+        assert s.state(0, 0x100) is MESIState.INVALID
+        assert s.state(1, 0x100) is MESIState.INVALID
+        assert s.state(2, 0x100) is MESIState.MODIFIED
+
+    def test_private_data_no_invalidations(self):
+        s = system()
+        for i in range(8):
+            s.access(0, i * 64, AccessKind.WRITE)
+            s.access(1, 0x10000 + i * 64, AccessKind.WRITE)
+        assert s.stats.invalidations_sent == 0
+
+    def test_sharers_listing(self):
+        s = system(3)
+        s.access(0, 0x100, AccessKind.READ)
+        s.access(2, 0x100, AccessKind.READ)
+        assert s.sharers(0x100) == [0, 2]
+
+    def test_rejects_bad_core(self):
+        with pytest.raises(ConfigurationError):
+            system(2).access(5, 0, AccessKind.READ)
+
+
+class TestInvariants:
+    def test_invariants_hold_after_random_traffic(self):
+        rng = np.random.default_rng(17)
+        s = system(4)
+        addresses = rng.integers(0, 64, size=2000) * 64
+        kinds = rng.integers(0, 2, size=2000)
+        cores = rng.integers(0, 4, size=2000)
+        chunk = TraceChunk(addresses, kinds, cores)
+        s.access_chunk(chunk)
+        s.check_invariants()
+
+    def test_llc_sees_coherence_misses(self):
+        s = CoherentCacheSystem(
+            private_config=CacheConfig(size=1 * KB, line_size=64, associativity=4),
+            cores=2,
+            llc_config=CacheConfig(size=8 * KB, line_size=64, associativity=8),
+        )
+        s.access(0, 0x100, AccessKind.READ)
+        s.access(1, 0x100, AccessKind.READ)
+        assert s.llc.stats.accesses == 2
+        assert s.llc.stats.hits == 1  # second core's miss hits in LLC

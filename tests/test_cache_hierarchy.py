@@ -1,0 +1,105 @@
+"""Tests for the L1 + shared LLC hierarchy."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.errors import ConfigurationError
+from repro.trace.generators import Region, cyclic_scan
+from repro.trace.record import AccessKind, TraceChunk
+from repro.units import KB, MB
+
+
+def small_hierarchy(cores: int = 2) -> CacheHierarchy:
+    return CacheHierarchy(
+        HierarchyConfig(
+            l1=CacheConfig(size=1 * KB, line_size=64, associativity=4, name="L1"),
+            llc=CacheConfig(size=8 * KB, line_size=64, associativity=8, name="LLC"),
+            cores=cores,
+        )
+    )
+
+
+class TestHierarchyConfig:
+    def test_pentium4_like(self):
+        config = HierarchyConfig.pentium4_like()
+        assert config.l1.size == 8 * KB
+        assert config.llc.size == 512 * KB
+        assert config.cores == 1
+
+    def test_cmp_factory(self):
+        config = HierarchyConfig.cmp(cores=8, llc_size=32 * MB)
+        assert config.cores == 8
+        assert config.llc.size == 32 * MB
+
+    def test_cmp_factory_large_lines(self):
+        config = HierarchyConfig.cmp(cores=4, llc_size=4 * MB, llc_line=4096)
+        assert config.llc.line_size == 4096
+
+    def test_rejects_l1_line_bigger_than_llc(self):
+        with pytest.raises(ConfigurationError):
+            HierarchyConfig(
+                l1=CacheConfig(size=1 * KB, line_size=128, associativity=4),
+                llc=CacheConfig(size=8 * KB, line_size=64, associativity=8),
+            )
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            HierarchyConfig(
+                l1=CacheConfig(size=1 * KB, associativity=4),
+                llc=CacheConfig(size=8 * KB, associativity=8),
+                cores=0,
+            )
+
+
+class TestHierarchyBehaviour:
+    def test_l1_hit_does_not_reach_llc(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access(0x100, AccessKind.READ, core=0)
+        hierarchy.access(0x100, AccessKind.READ, core=0)
+        assert hierarchy.llc.stats.accesses == 1  # only the first miss
+
+    def test_l1s_are_private(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access(0x100, AccessKind.READ, core=0)
+        hierarchy.access(0x100, AccessKind.READ, core=1)
+        # Core 1's L1 missed (private), but the shared LLC hit.
+        assert hierarchy.l1s[1].stats.misses == 1
+        assert hierarchy.llc.stats.hits == 1
+
+    def test_write_through_reaches_llc(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access(0x100, AccessKind.READ, core=0)
+        hierarchy.access(0x100, AccessKind.WRITE, core=0)
+        assert hierarchy.llc.stats.writes == 1
+
+    def test_write_miss_does_not_allocate_l1(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access(0x300, AccessKind.WRITE, core=0)
+        assert not hierarchy.l1s[0].contains(0x300)
+        assert hierarchy.llc.contains(0x300)
+
+    def test_rejects_out_of_range_core(self):
+        with pytest.raises(ConfigurationError):
+            small_hierarchy(2).access(0, core=5)
+
+    def test_access_stream_result(self):
+        hierarchy = small_hierarchy()
+        trace = cyclic_scan(Region(0, 2 * KB), passes=2, stride=64)
+        result = hierarchy.access_stream([trace.with_core(0)])
+        assert result.accesses == len(trace)
+        assert result.l1_total.accesses == len(trace)
+
+    def test_llc_filters_hot_reuse(self):
+        """A 512B hot set fits in L1: the LLC sees only cold traffic."""
+        hierarchy = small_hierarchy()
+        trace = cyclic_scan(Region(0, 512), passes=10, stride=64)
+        hierarchy.access_chunk(trace.with_core(0))
+        assert hierarchy.llc.stats.accesses == 8  # 8 cold lines only
+
+    def test_core_tags_respected_in_chunk(self):
+        hierarchy = small_hierarchy()
+        chunk = TraceChunk([0x100, 0x200], cores=[0, 1])
+        hierarchy.access_chunk(chunk)
+        assert hierarchy.l1s[0].stats.accesses == 1
+        assert hierarchy.l1s[1].stats.accesses == 1

@@ -1,0 +1,96 @@
+"""Tests for the stride prefetcher."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig, SetAssociativeCache
+from repro.cache.prefetch import PrefetchingCache, StridePrefetcher, StreamState
+from repro.errors import ConfigurationError
+from repro.trace.generators import Region, pointer_chase, sequential_scan
+from repro.units import KB
+
+
+class TestStrideDetection:
+    def test_needs_confirmation_before_issuing(self):
+        prefetcher = StridePrefetcher(degree=2)
+        assert prefetcher.observe(1, 0) == []      # allocate entry
+        assert prefetcher.observe(1, 64) == []     # stride learned (transient)
+        assert prefetcher.observe(1, 128) == [192, 256]  # confirmed: burst
+        assert prefetcher.observe(1, 192) == [320]       # steady: one ahead
+
+    def test_backward_stride(self):
+        prefetcher = StridePrefetcher(degree=1)
+        for address in (1000, 936, 872):
+            prefetcher.observe(1, address)
+        assert prefetcher.observe(1, 808) == [744]
+
+    def test_stride_change_resets(self):
+        prefetcher = StridePrefetcher(degree=1)
+        for address in (0, 64, 128, 192):
+            prefetcher.observe(1, address)
+        assert prefetcher.observe(1, 1000) == []  # broken stream
+
+    def test_huge_stride_ignored(self):
+        prefetcher = StridePrefetcher(degree=1, max_stride=4096)
+        prefetcher.observe(1, 0)
+        assert prefetcher.observe(1, 1 << 20) == []
+        assert prefetcher.observe(1, 2 << 20) == []
+
+    def test_streams_tracked_per_pc(self):
+        prefetcher = StridePrefetcher(degree=1)
+        # Two interleaved streams at different PCs both reach steady state.
+        for i in range(4):
+            a = prefetcher.observe(1, i * 64)
+            b = prefetcher.observe(2, 10000 + i * 128)
+        assert a == [4 * 64]
+        assert b == [10000 + 4 * 128]
+
+    def test_table_eviction(self):
+        prefetcher = StridePrefetcher(table_size=2)
+        prefetcher.observe(1, 0)
+        prefetcher.observe(2, 0)
+        prefetcher.observe(3, 0)  # evicts pc=1
+        assert len(prefetcher._table) == 2
+        assert 1 not in prefetcher._table
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            StridePrefetcher(table_size=0)
+
+    def test_zero_stride_noop(self):
+        prefetcher = StridePrefetcher()
+        prefetcher.observe(1, 100)
+        assert prefetcher.observe(1, 100) == []
+
+
+class TestPrefetchingCache:
+    def make(self, size=4 * KB) -> PrefetchingCache:
+        cache = SetAssociativeCache(CacheConfig.fully_associative(size))
+        return PrefetchingCache(cache, StridePrefetcher(degree=4))
+
+    def test_streaming_misses_mostly_covered(self):
+        """On a long streaming scan the prefetcher eliminates most misses."""
+        trace = sequential_scan(Region(0, 1 << 20), count=8192, stride=64, pc=0x400)
+        with_prefetch = self.make()
+        with_prefetch.access_chunk(trace)
+        without = SetAssociativeCache(CacheConfig.fully_associative(4 * KB))
+        without.access_chunk(trace)
+        assert with_prefetch.cache.stats.misses < 0.2 * without.stats.misses
+        assert with_prefetch.coverage > 0.8
+
+    def test_pointer_chase_not_covered(self):
+        trace = pointer_chase(Region(0, 1 << 20), count=4096, node_size=64, pc=0x500)
+        prefetching = self.make()
+        prefetching.access_chunk(trace)
+        assert prefetching.coverage < 0.2
+
+    def test_accuracy_on_stream(self):
+        trace = sequential_scan(Region(0, 1 << 20), count=4096, stride=64, pc=0x600)
+        prefetching = self.make()
+        prefetching.access_chunk(trace)
+        assert prefetching.prefetcher.stats.accuracy > 0.8
+
+    def test_prefetches_counted_in_cache_stats(self):
+        trace = sequential_scan(Region(0, 1 << 18), count=2048, stride=64, pc=1)
+        prefetching = self.make()
+        prefetching.access_chunk(trace)
+        assert prefetching.cache.stats.prefetches > 0

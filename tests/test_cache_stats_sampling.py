@@ -1,0 +1,136 @@
+"""Tests for cache statistics plumbing and the window sampler."""
+
+import pytest
+
+from repro.cache.sampling import WindowSampler
+from repro.cache.stats import CacheStats
+from repro.errors import (
+    CalibrationError,
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    TraceError,
+)
+
+
+class TestCacheStats:
+    def make(self) -> CacheStats:
+        stats = CacheStats()
+        stats.note_access(core=0, is_read=True, hit=True)
+        stats.note_access(core=0, is_read=True, hit=False)
+        stats.note_access(core=1, is_read=False, hit=False)
+        return stats
+
+    def test_note_access_accounting(self):
+        stats = self.make()
+        assert stats.accesses == 3
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.reads == 2 and stats.writes == 1
+        assert stats.read_misses == 1 and stats.write_misses == 1
+        assert stats.per_core_accesses == {0: 2, 1: 1}
+        assert stats.per_core_misses == {0: 1, 1: 1}
+
+    def test_ratios(self):
+        stats = self.make()
+        assert stats.miss_ratio == pytest.approx(2 / 3)
+        assert stats.hit_ratio == pytest.approx(1 / 3)
+        assert CacheStats().miss_ratio == 0.0
+        assert CacheStats().hit_ratio == 0.0
+
+    def test_mpki_apki(self):
+        stats = self.make()
+        assert stats.mpki(1000) == 2.0
+        assert stats.apki(1000) == 3.0
+        assert stats.mpki(0) == 0.0
+
+    def test_merge_sums_everything(self):
+        merged = self.make().merge(self.make())
+        assert merged.accesses == 6
+        assert merged.per_core_accesses == {0: 4, 1: 2}
+        assert merged.per_core_misses == {0: 2, 1: 2}
+
+    def test_snapshot_is_independent(self):
+        stats = self.make()
+        snapshot = stats.snapshot()
+        stats.note_access(0, True, False)
+        assert snapshot.accesses == 3
+        assert stats.accesses == 4
+
+    def test_delta(self):
+        stats = self.make()
+        earlier = stats.snapshot()
+        stats.note_access(0, True, False)
+        stats.note_access(0, True, True)
+        delta = stats.delta(earlier)
+        assert delta.accesses == 2
+        assert delta.misses == 1
+
+
+class TestWindowSampler:
+    def make(self) -> tuple[WindowSampler, CacheStats]:
+        # 1000 cycles per window for easy arithmetic.
+        sampler = WindowSampler(frequency_hz=2e6, interval_us=500.0)
+        assert sampler.cycles_per_window == 1000
+        return sampler, CacheStats()
+
+    def feed(self, stats: CacheStats, accesses: int, misses: int) -> None:
+        for i in range(accesses):
+            stats.note_access(0, True, hit=i >= misses)
+
+    def test_single_boundary(self):
+        sampler, stats = self.make()
+        self.feed(stats, 10, 4)
+        sampler.advance(1000, 500, stats)
+        assert len(sampler.samples) == 1
+        sample = sampler.samples[0]
+        assert sample.accesses == 10 and sample.misses == 4
+        assert sample.instructions == 500
+        assert sample.mpki == pytest.approx(8.0)
+
+    def test_coarse_message_emits_multiple_windows(self):
+        """One cycles-completed message may cross several boundaries."""
+        sampler, stats = self.make()
+        self.feed(stats, 6, 2)
+        sampler.advance(3500, 900, stats)
+        assert len(sampler.samples) == 3
+        # All activity lands in the first emitted window; later windows
+        # carry zero deltas.
+        assert sampler.samples[0].misses == 2
+        assert sampler.samples[1].accesses == 0
+
+    def test_finalize_partial_window(self):
+        sampler, stats = self.make()
+        self.feed(stats, 4, 1)
+        sampler.advance(1000, 100, stats)
+        self.feed(stats, 3, 3)
+        sampler.finalize(1400, 150, stats)
+        assert len(sampler.samples) == 2
+        assert sampler.samples[1].accesses == 3
+        assert sampler.samples[1].cycles == 400
+
+    def test_finalize_empty_tail_suppressed(self):
+        sampler, stats = self.make()
+        self.feed(stats, 2, 1)
+        sampler.advance(1000, 100, stats)
+        sampler.finalize(1000, 100, stats)
+        assert len(sampler.samples) == 1
+
+    def test_window_miss_ratio(self):
+        sampler, stats = self.make()
+        self.feed(stats, 10, 5)
+        sampler.advance(1000, 100, stats)
+        assert sampler.samples[0].miss_ratio == pytest.approx(0.5)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [ConfigurationError, ProtocolError, TraceError, CalibrationError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)

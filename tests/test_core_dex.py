@@ -1,0 +1,167 @@
+"""Tests for the front-side bus and the DEX scheduler."""
+
+import pytest
+
+from repro.core.dex import DEXScheduler, VirtualCore
+from repro.core.fsb import FrontSideBus, FSBTransaction
+from repro.errors import ConfigurationError
+from repro.protocol import MessageCodec, MessageKind
+from repro.trace.record import AccessKind, TraceChunk
+from repro.trace.stream import chunk_stream
+
+
+class RecordingSnooper:
+    """Captures everything that crosses the bus."""
+
+    def __init__(self):
+        self.transactions: list[FSBTransaction] = []
+        self.chunks: list[TraceChunk] = []
+
+    def snoop(self, transaction):
+        self.transactions.append(transaction)
+
+    def snoop_chunk(self, chunk):
+        self.chunks.append(chunk)
+
+
+class TestFrontSideBus:
+    def test_snoopers_see_transactions(self):
+        bus = FrontSideBus()
+        snooper = RecordingSnooper()
+        bus.attach(snooper)
+        bus.issue(FSBTransaction(address=0x100))
+        assert len(snooper.transactions) == 1
+        assert bus.transactions_issued == 1
+
+    def test_detach(self):
+        bus = FrontSideBus()
+        snooper = RecordingSnooper()
+        bus.attach(snooper)
+        bus.detach(snooper)
+        bus.issue(FSBTransaction(address=0x100))
+        assert snooper.transactions == []
+
+    def test_chunk_issue(self):
+        bus = FrontSideBus()
+        snooper = RecordingSnooper()
+        bus.attach(snooper)
+        bus.issue_chunk(TraceChunk([1, 2, 3]))
+        assert bus.transactions_issued == 3
+        assert len(snooper.chunks) == 1
+
+    def test_message_transaction_flag(self):
+        from repro.protocol import Message, MessageCodec, MessageKind
+
+        address = MessageCodec.encode(Message(MessageKind.CORE_ID, 1))[0]
+        assert FSBTransaction(address=address).is_message
+        assert not FSBTransaction(address=0x1000).is_message
+
+
+def run_scheduler(streams, quantum=4, **kwargs):
+    bus = FrontSideBus()
+    snooper = RecordingSnooper()
+    bus.attach(snooper)
+    cores = [VirtualCore(core_id=i, stream=s) for i, s in enumerate(streams)]
+    scheduler = DEXScheduler(bus, cores, quantum=quantum, **kwargs)
+    scheduler.run()
+    return scheduler, snooper
+
+
+def decoded_messages(snooper):
+    codec = MessageCodec()
+    result = []
+    for transaction in snooper.transactions:
+        if transaction.is_message:
+            message = codec.decode(transaction.address)
+            if message is not None:
+                result.append(message)
+    return result
+
+
+class TestDEXScheduler:
+    def test_protocol_brackets_run(self):
+        _, snooper = run_scheduler([[TraceChunk([1, 2])]])
+        kinds = [m.kind for m in decoded_messages(snooper)]
+        assert kinds[0] is MessageKind.START_EMULATION
+        assert kinds[-1] is MessageKind.STOP_EMULATION
+
+    def test_core_id_before_each_slice(self):
+        _, snooper = run_scheduler(
+            [[TraceChunk(list(range(8)))], [TraceChunk(list(range(100, 108)))]],
+            quantum=4,
+        )
+        core_ids = [
+            m.payload
+            for m in decoded_messages(snooper)
+            if m.kind is MessageKind.CORE_ID
+        ]
+        assert core_ids == [0, 1, 0, 1]
+
+    def test_all_transactions_delivered_tagged(self):
+        _, snooper = run_scheduler(
+            [[TraceChunk(list(range(10)))], [TraceChunk(list(range(100, 105)))]],
+            quantum=4,
+        )
+        merged = TraceChunk.concatenate(snooper.chunks)
+        assert len(merged) == 15
+        core0 = sorted(int(a) for a in merged.addresses[merged.cores == 0])
+        assert core0 == list(range(10))
+
+    def test_instruction_accounting(self):
+        scheduler, _ = run_scheduler([[TraceChunk(list(range(10)))]], quantum=4)
+        # Default 2 instructions per access.
+        assert scheduler.instructions_retired == 20
+
+    def test_progress_messages_monotone(self):
+        _, snooper = run_scheduler([[TraceChunk(list(range(20)))]], quantum=4)
+        retired = [
+            m.payload
+            for m in decoded_messages(snooper)
+            if m.kind is MessageKind.INSTRUCTIONS_RETIRED
+        ]
+        assert retired == sorted(retired)
+        assert len(retired) == 5  # one per slice
+
+    def test_noise_outside_window(self):
+        _, snooper = run_scheduler(
+            [[TraceChunk([1, 2])]], quantum=4, os_noise_accesses=16
+        )
+        # Noise is issued before START and after STOP: the first and
+        # last chunks on the bus are the 16-access noise bursts.
+        assert len(snooper.chunks[0]) == 16
+        assert len(snooper.chunks[-1]) == 16
+        assert len(snooper.chunks) == 3  # noise, workload slice, noise
+
+    def test_elapsed_time(self):
+        scheduler, _ = run_scheduler(
+            [[TraceChunk(list(range(10)))]],
+            quantum=10,
+            cycles_per_instruction=2.0,
+            frequency_hz=1e9,
+        )
+        assert scheduler.cycles_completed == 40
+        assert scheduler.elapsed_seconds == pytest.approx(4e-8)
+
+    def test_rejects_empty_cores(self):
+        with pytest.raises(ConfigurationError):
+            DEXScheduler(FrontSideBus(), [])
+
+    def test_rejects_duplicate_ids(self):
+        cores = [
+            VirtualCore(0, [TraceChunk([1])]),
+            VirtualCore(0, [TraceChunk([2])]),
+        ]
+        with pytest.raises(ConfigurationError):
+            DEXScheduler(FrontSideBus(), cores)
+
+    def test_rejects_bad_instruction_ratio(self):
+        with pytest.raises(ConfigurationError):
+            VirtualCore(0, [TraceChunk([1])], instructions_per_access=0.5)
+
+    def test_quantum_slicing_shape(self):
+        scheduler, snooper = run_scheduler(
+            [[c for c in chunk_stream(TraceChunk(list(range(11))), 3)]], quantum=4
+        )
+        # 11 accesses at quantum 4 → slices of 4, 4, 3.
+        assert [len(c) for c in snooper.chunks] == [4, 4, 3]
+        assert scheduler.slices_executed == 3

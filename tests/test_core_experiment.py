@@ -1,0 +1,65 @@
+"""Tests for experiment configurations and sweep drivers."""
+
+import pytest
+
+from repro.core.experiment import (
+    ALL_CMPS,
+    LCMP,
+    MCMP,
+    SCMP,
+    CMPConfig,
+    cache_size_sweep,
+    line_size_sweep,
+    working_set_knee,
+)
+from repro.units import MB
+from repro.workloads.profiles import memory_model
+
+
+class TestCMPConfigs:
+    def test_paper_design_points(self):
+        assert SCMP.cores == 8
+        assert MCMP.cores == 16
+        assert LCMP.cores == 32
+
+    def test_all_cmps_ordered(self):
+        assert [c.cores for c in ALL_CMPS] == [8, 16, 32]
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            CMPConfig("bad", 0)
+
+    def test_threads_equal_cores(self):
+        assert SCMP.threads == 8
+
+
+class TestSweeps:
+    def test_cache_sweep_axis(self):
+        sweep = cache_size_sweep(memory_model("FIMI"), SCMP)
+        assert [s for s, _ in sweep] == [
+            4 * MB, 8 * MB, 16 * MB, 32 * MB, 64 * MB, 128 * MB, 256 * MB
+        ]
+
+    def test_line_sweep_axis(self):
+        sweep = line_size_sweep(memory_model("SHOT"))
+        assert [l for l, _ in sweep] == [64, 128, 256, 512, 1024, 2048, 4096]
+
+    def test_cache_sweep_monotone(self):
+        for name in ("SNP", "SHOT", "FIMI"):
+            sweep = cache_size_sweep(memory_model(name), SCMP)
+            mpkis = [m for _, m in sweep]
+            assert all(a >= b - 1e-9 for a, b in zip(mpkis, mpkis[1:]))
+
+
+class TestWorkingSetKnee:
+    def test_detects_step(self):
+        sweep = [(4 * MB, 10.0), (8 * MB, 9.8), (16 * MB, 2.0), (32 * MB, 1.9)]
+        assert working_set_knee(sweep) == 16 * MB
+
+    def test_flat_curve_has_no_knee(self):
+        sweep = [(4 * MB, 10.0), (8 * MB, 9.9), (16 * MB, 9.8)]
+        assert working_set_knee(sweep) is None
+
+    def test_first_knee_wins(self):
+        sweep = [(4 * MB, 10.0), (8 * MB, 4.0), (16 * MB, 1.0)]
+        assert working_set_knee(sweep) == 8 * MB

@@ -1,0 +1,116 @@
+"""Tests for the DRAM-cache study and the 128-core projection."""
+
+import pytest
+
+from repro.harness import projection
+from repro.perf.dramcache import (
+    DRAM_HIT_LATENCY,
+    MEMORY_LATENCY_CYCLES,
+    dram_cache_study,
+    evaluate_dram_cache,
+)
+from repro.workloads.profiles import WORKLOAD_NAMES
+
+
+class TestDramCacheModel:
+    def test_stall_accounting(self):
+        result = evaluate_dram_cache("FIMI", threads=128)
+        dram_hits = result.sram_mpki - result.dram_mpki
+        expected = (
+            dram_hits * DRAM_HIT_LATENCY + result.dram_mpki * MEMORY_LATENCY_CYCLES
+        )
+        assert result.stall_with == pytest.approx(expected)
+        assert result.stall_with <= result.stall_without + 1e-9
+
+    def test_saving_never_negative(self):
+        for result in dram_cache_study():
+            assert result.stall_saving_percent >= -1e-9
+
+    def test_study_covers_all_workloads(self):
+        names = [r.workload for r in dram_cache_study()]
+        assert names == list(WORKLOAD_NAMES)
+
+
+class TestPaperProjection:
+    """Section 4.3: 'we believe that 5 of the 8 workloads will benefit
+    from a large DRAM cache when scaled to a 128-core CMP.'"""
+
+    def test_five_of_eight_benefit(self):
+        rows = projection.generate(threads=128)
+        beneficiaries = {r.workload for r in rows if r.dram_candidate}
+        assert beneficiaries == set(projection.PAPER_DRAM_BENEFICIARIES)
+        assert len(beneficiaries) == 5
+
+    def test_category_a_small_llc_sufficient(self):
+        """'For these workloads, a small LLC, such as 8MB, will deliver a
+        good memory subsystem performance' — the static-working-set trio."""
+        rows = {r.workload: r for r in projection.generate()}
+        for name in ("SVM-RFE", "PLSA", "SNP"):
+            assert not rows[name].dram_candidate
+
+    def test_category_c_working_sets_explode(self):
+        """SHOT and VIEWTYPE footprints scale linearly to 128 cores."""
+        rows = {r.workload: r for r in projection.generate()}
+        assert rows["SHOT"].footprint_128 > 256 * 1024 * 1024
+        assert rows["VIEWTYPE"].footprint_128 > 128 * 1024 * 1024
+
+    def test_fimi_rsearch_exceed_32mb_at_128_cores(self):
+        """'their working set will exceed 32MB on 128 cores.'"""
+        from repro.units import MB
+        from repro.workloads.profiles import memory_model
+
+        for name in ("FIMI", "RSEARCH"):
+            model = memory_model(name)
+            assert model.llc_mpki(32 * MB, 64, 128) > model.llc_mpki(256 * MB, 64, 128)
+
+    def test_main_prints(self, capsys):
+        projection.main()
+        output = capsys.readouterr().out
+        assert "5 of 8" in output
+        assert "DRAM cache" in output
+
+
+class TestAblations:
+    def test_replacement_policies_close_on_workload_traffic(self):
+        from repro.harness.ablations import replacement_policy_ablation
+
+        results = replacement_policy_ablation(accesses=20_000)
+        ratios = [r.miss_ratio for r in results]
+        by_name = {r.policy: r.miss_ratio for r in results}
+        # All policies within a few percent on this traffic; PLRU
+        # approximates LRU closely.
+        assert max(ratios) - min(ratios) < 0.05
+        assert by_name["plru"] == pytest.approx(by_name["lru"], abs=0.01)
+
+    def test_slice_rule_matters_at_small_caches(self):
+        from repro.harness.ablations import slice_rule_ablation
+
+        off, on = slice_rule_ablation()
+        assert off.mpki_4mb_32c > 2 * on.mpki_4mb_32c
+
+    def test_smoothing_values_reasonable(self):
+        from repro.harness.ablations import smoothing_ablation
+
+        for result in smoothing_ablation():
+            assert 1.0 < result.jump_ratio < 2.5
+
+    def test_quantum_effect(self):
+        from repro.harness.ablations import quantum_ablation
+
+        results = quantum_ablation(
+            cores=2,
+            region_bytes=640 * 1024,
+            passes=4,
+            quanta=(1024, 65536),
+        )
+        small_quantum, large_quantum = results
+        # Fine interleaving thrashes; slice-long quanta restore reuse.
+        assert small_quantum.mpki > 2 * large_quantum.mpki
+
+    def test_ablations_main_prints(self, capsys):
+        from repro.harness import ablations
+
+        ablations.main()
+        output = capsys.readouterr().out
+        for marker in ("Ablation 1", "Ablation 2", "Ablation 3", "Ablation 4"):
+            assert marker in output

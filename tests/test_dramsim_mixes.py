@@ -1,0 +1,136 @@
+"""Tests for the DRAM-cache device model and workload mixes."""
+
+import numpy as np
+import pytest
+
+from repro.cache.dramsim import DramCacheConfig, DramCacheSim
+from repro.errors import ConfigurationError
+from repro.trace.generators import Region, cyclic_scan, sequential_scan, uniform_random
+from repro.units import KB, MB
+from repro.workloads import get_workload
+from repro.workloads.mixes import MixEntry, mixed_guest, mixed_llc_mpki, mixed_profile
+
+
+def small_dram(**overrides) -> DramCacheSim:
+    defaults = dict(capacity=1 * MB, line_size=256, associativity=4, banks=4)
+    defaults.update(overrides)
+    return DramCacheSim(DramCacheConfig(**defaults))
+
+
+class TestDramCacheConfig:
+    def test_rejects_row_smaller_than_line(self):
+        with pytest.raises(ConfigurationError):
+            DramCacheConfig(row_bytes=128, line_size=256)
+
+    def test_rejects_non_power_of_two_banks(self):
+        with pytest.raises(ConfigurationError):
+            DramCacheConfig(banks=3)
+
+
+class TestRowBufferBehaviour:
+    def test_streaming_enjoys_row_hits(self):
+        """Sequential traffic stays in open rows: the property that makes
+        DRAM caches work for the paper's streaming workloads."""
+        sim = small_dram()
+        trace = sequential_scan(Region(0, 512 * KB), count=2048, stride=256)
+        # Warm the contents first so row behaviour is isolated.
+        sim.access_chunk(trace)
+        warm = DramCacheSim(sim.config)
+        warm.access_chunk(trace)
+        stats = warm.access_chunk(trace[:0].concatenate([trace]))
+        assert stats.row_hit_ratio > 0.8
+
+    def test_random_traffic_thrashes_rows(self):
+        sim = small_dram()
+        trace = uniform_random(
+            Region(0, 1 * MB), count=4000, granule=256, rng=np.random.default_rng(3)
+        )
+        sim.access_chunk(trace)
+        assert sim.stats.row_hit_ratio < 0.2
+
+    def test_latency_ordering(self):
+        """content+row hit < content hit w/ row conflict < content miss."""
+        config = DramCacheConfig(capacity=1 * MB, line_size=256, banks=4)
+        sim = DramCacheSim(config)
+        miss_latency = sim.access(0x0)  # cold miss
+        conflict_latency = sim.access(0x100000 - 256)  # hit far row? no:
+        # Access the same line again: content hit + row hit.
+        hit_latency = sim.access(0x0)
+        assert hit_latency < miss_latency
+        assert hit_latency == config.tag_latency + config.row_hit_latency
+
+    def test_average_latency_accumulates(self):
+        sim = small_dram()
+        trace = cyclic_scan(Region(0, 128 * KB), passes=3, stride=256)
+        sim.access_chunk(trace)
+        assert sim.stats.average_latency > 0
+        assert sim.stats.accesses == len(trace)
+
+    def test_content_hits_after_warmup(self):
+        sim = small_dram()
+        trace = cyclic_scan(Region(0, 256 * KB), passes=4, stride=256)
+        sim.access_chunk(trace)
+        assert sim.stats.content_hit_ratio > 0.7  # 3 of 4 passes hit
+
+
+class TestMixedGuests:
+    def entries(self):
+        return [
+            MixEntry(get_workload("FIMI"), 2),
+            MixEntry(get_workload("MDS"), 2),
+        ]
+
+    def test_exact_path_runs(self):
+        from repro.cache.emulator import DragonheadConfig
+        from repro.core.cosim import CoSimPlatform
+
+        guest = mixed_guest(self.entries(), accesses_per_thread=4096, scale=1 / 512)
+        platform = CoSimPlatform(DragonheadConfig(cache_size=1 * MB))
+        result = platform.run(guest, cores=4)
+        assert result.accesses == 4 * 4096
+        assert "FIMI" in result.workload and "MDS" in result.workload
+
+    def test_core_count_mismatch_rejected(self):
+        from repro.errors import ConfigurationError
+
+        guest = mixed_guest(self.entries(), accesses_per_thread=512, scale=1 / 512)
+        with pytest.raises(ConfigurationError):
+            guest.thread_streams(3)
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mixed_guest([])
+
+    def test_per_core_instruction_ratios(self):
+        guest = mixed_guest(self.entries(), accesses_per_thread=512, scale=1 / 512)
+        fimi_ratio = get_workload("FIMI").fsb_instructions_per_access()
+        mds_ratio = get_workload("MDS").fsb_instructions_per_access()
+        assert guest.instruction_ratio(0) == pytest.approx(fimi_ratio)
+        assert guest.instruction_ratio(3) == pytest.approx(mds_ratio)
+
+
+class TestMixedProfiles:
+    def test_mix_between_pure_values(self):
+        fimi = get_workload("FIMI")
+        mds = get_workload("MDS")
+        entries = [MixEntry(fimi, 4), MixEntry(mds, 4)]
+        mixed = mixed_llc_mpki(entries, 32 * MB)
+        pure_fimi = fimi.model.llc_mpki(32 * MB, 64, 4)
+        pure_mds = mds.model.llc_mpki(32 * MB, 64, 4)
+        low, high = sorted((pure_fimi, pure_mds))
+        assert low <= mixed <= high
+
+    def test_share_shifts_toward_heavier_workload(self):
+        fimi = get_workload("FIMI")
+        mds = get_workload("MDS")
+        light = mixed_llc_mpki([MixEntry(fimi, 6), MixEntry(mds, 2)], 32 * MB)
+        heavy = mixed_llc_mpki([MixEntry(fimi, 2), MixEntry(mds, 6)], 32 * MB)
+        assert heavy > light  # MDS misses much more
+
+    def test_profile_rate_is_weighted_sum(self):
+        fimi = get_workload("FIMI")
+        shot = get_workload("SHOT")
+        entries = [MixEntry(fimi, 2), MixEntry(shot, 2)]
+        profile = mixed_profile(entries)
+        expected = 0.5 * fimi.model.profile(64, 2).total_rate + 0.5 * shot.model.profile(64, 2).total_rate
+        assert profile.total_rate == pytest.approx(expected)

@@ -1,0 +1,108 @@
+"""Tests for emulator session semantics and configuration envelope."""
+
+import numpy as np
+import pytest
+
+from repro.cache.emulator import DragonheadConfig, DragonheadEmulator
+from repro.core.fsb import FSBTransaction
+from repro.protocol import Message, MessageCodec, MessageKind
+from repro.trace.generators import Region, cyclic_scan, uniform_random
+from repro.trace.record import AccessKind, TraceChunk
+from repro.units import MB
+
+
+def send(emulator, message):
+    for address in MessageCodec.encode(message):
+        emulator.snoop(FSBTransaction(address=address, kind=AccessKind.WRITE))
+
+
+def session(emulator, chunk, instructions):
+    send(emulator, Message(MessageKind.START_EMULATION))
+    send(emulator, Message(MessageKind.CORE_ID, 0))
+    emulator.snoop_chunk(chunk)
+    send(emulator, Message(MessageKind.INSTRUCTIONS_RETIRED, instructions))
+    send(emulator, Message(MessageKind.STOP_EMULATION))
+
+
+class TestSessions:
+    def test_start_resets_progress_counters(self):
+        emulator = DragonheadEmulator(DragonheadConfig(cache_size=1 * MB))
+        chunk = cyclic_scan(Region(0, 64 * 1024), passes=1, stride=64)
+        session(emulator, chunk, 5000)
+        assert emulator.af.instructions_retired == 5000
+        session(emulator, chunk, 3000)
+        # Second session's counter is its own, not cumulative.
+        assert emulator.af.instructions_retired == 3000
+
+    def test_cache_state_survives_sessions(self):
+        emulator = DragonheadEmulator(DragonheadConfig(cache_size=1 * MB))
+        chunk = cyclic_scan(Region(0, 64 * 1024), passes=1, stride=64)
+        session(emulator, chunk, 1000)
+        misses_first = emulator.stats.misses
+        session(emulator, chunk, 1000)
+        # Same lines again: all warm.
+        assert emulator.stats.misses == misses_first
+
+    def test_reset_statistics_keeps_contents(self):
+        emulator = DragonheadEmulator(DragonheadConfig(cache_size=1 * MB))
+        chunk = cyclic_scan(Region(0, 64 * 1024), passes=1, stride=64)
+        session(emulator, chunk, 1000)
+        emulator.reset_statistics()
+        assert emulator.stats.accesses == 0
+        session(emulator, chunk, 1000)
+        assert emulator.stats.misses == 0  # still warm: pure hits
+
+    def test_reconfigure_flushes_everything(self):
+        emulator = DragonheadEmulator(DragonheadConfig(cache_size=1 * MB))
+        chunk = cyclic_scan(Region(0, 64 * 1024), passes=1, stride=64)
+        session(emulator, chunk, 1000)
+        emulator.reconfigure(DragonheadConfig(cache_size=2 * MB))
+        assert emulator.stats.accesses == 0
+        assert emulator.config.cache_size == 2 * MB
+        session(emulator, chunk, 1000)
+        assert emulator.stats.misses == 1024  # cold again
+
+    def test_scalar_and_chunk_snoop_agree(self):
+        chunk = uniform_random(
+            Region(0, 4 * MB), count=5000, rng=np.random.default_rng(71)
+        )
+        scalar = DragonheadEmulator(DragonheadConfig(cache_size=1 * MB))
+        send(scalar, Message(MessageKind.START_EMULATION))
+        for access in chunk:
+            scalar.snoop(FSBTransaction(address=access.address, kind=access.kind))
+        chunked = DragonheadEmulator(DragonheadConfig(cache_size=1 * MB))
+        send(chunked, Message(MessageKind.START_EMULATION))
+        chunked.snoop_chunk(chunk)
+        assert scalar.stats.misses == chunked.stats.misses
+        assert scalar.stats.hits == chunked.stats.hits
+
+
+class TestConfigurationEnvelope:
+    @pytest.mark.parametrize("size_mb", [1, 2, 4, 8, 16, 32, 64, 128, 256])
+    def test_every_paper_size_configures(self, size_mb):
+        DragonheadEmulator(DragonheadConfig(cache_size=size_mb * MB))
+
+    @pytest.mark.parametrize("line", [64, 128, 256, 512, 1024, 2048, 4096])
+    def test_every_paper_line_size_configures(self, line):
+        emulator = DragonheadEmulator(
+            DragonheadConfig(cache_size=32 * MB, line_size=line)
+        )
+        total = sum(bank.config.size for bank in emulator.banks)
+        assert total == 32 * MB
+
+    def test_extreme_corner_geometry(self):
+        """256MB with 4KB lines: the envelope's hardest bank geometry."""
+        emulator = DragonheadEmulator(
+            DragonheadConfig(cache_size=256 * MB, line_size=4096)
+        )
+        send(emulator, Message(MessageKind.START_EMULATION))
+        emulator.snoop_chunk(TraceChunk([i * 4096 for i in range(100)]))
+        assert emulator.stats.misses == 100
+
+    def test_bank_load_balance(self):
+        """Sequential lines spread evenly over the four CC banks."""
+        emulator = DragonheadEmulator(DragonheadConfig(cache_size=1 * MB))
+        send(emulator, Message(MessageKind.START_EMULATION))
+        emulator.snoop_chunk(TraceChunk([i * 64 for i in range(4000)]))
+        loads = [bank.stats.accesses for bank in emulator.banks]
+        assert loads == [1000, 1000, 1000, 1000]

@@ -1,0 +1,125 @@
+"""Tests for the table/figure regeneration harness."""
+
+import pytest
+
+from repro.harness import fig4, fig5, fig6, fig7, fig8, table1, table2
+from repro.harness.report import render_series_table, render_table, sparkline
+from repro.units import MB, PAPER_CACHE_SWEEP, PAPER_LINE_SWEEP
+from repro.workloads.profiles import PAPER_TABLE2, WORKLOAD_NAMES
+
+
+class TestReportRendering:
+    def test_render_table_aligns(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # uniform width
+
+    def test_sparkline_shape(self):
+        assert len(sparkline([1, 2, 3])) == 3
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+        assert sparkline([]) == ""
+        spark = sparkline([0, 10])
+        assert spark[0] < spark[1]
+
+    def test_series_table_includes_all_series(self):
+        text = render_series_table("x", ["a", "b"], {"s1": [1.0, 2.0], "s2": [3.0, 4.0]})
+        assert "s1" in text and "s2" in text
+
+
+class TestTable1:
+    def test_all_workloads_present(self):
+        rows = table1.generate()
+        assert [r.workload for r in rows] == list(WORKLOAD_NAMES)
+        for row in rows:
+            assert row.paper_parameters and row.substitute
+
+    def test_main_prints(self, capsys):
+        table1.main()
+        output = capsys.readouterr().out
+        assert "Kosarak" in output and "HGBASE" in output
+
+
+class TestTable2:
+    def test_rows_complete(self):
+        rows = table2.generate()
+        assert len(rows) == 8
+        for row in rows:
+            paper = PAPER_TABLE2[row.workload]
+            assert row.ipc_paper == paper.ipc
+            assert row.dl1_mpki_model == pytest.approx(paper.dl1_mpki, rel=0.15)
+
+    def test_main_prints(self, capsys):
+        table2.main()
+        output = capsys.readouterr().out
+        assert "IPC" in output and "DL2 MPKI" in output
+
+
+class TestCacheSweepFigures:
+    @pytest.mark.parametrize("module,cores", [(fig4, 8), (fig5, 16), (fig6, 32)])
+    def test_series_cover_sweep(self, module, cores):
+        figure = module.generate()
+        assert figure.axis_values == PAPER_CACHE_SWEEP
+        assert set(figure.series) == set(WORKLOAD_NAMES)
+        assert str(cores) in figure.title
+
+    def test_fig4_knees_match_paper_readings(self):
+        knees = fig4.generate().knees
+        assert knees["SHOT"] == 32 * MB
+        assert knees["MDS"] is None
+        assert knees["FIMI"] == 16 * MB
+
+    def test_fig6_shot_knee_scales(self):
+        assert fig6.generate().knees["SHOT"] == 128 * MB
+
+    @pytest.mark.parametrize("module", [fig4, fig5, fig6])
+    def test_main_prints(self, module, capsys):
+        module.main()
+        output = capsys.readouterr().out
+        assert "working-set knee" in output
+
+
+class TestFig7:
+    def test_axis_and_series(self):
+        figure = fig7.generate()
+        assert figure.axis_values == PAPER_LINE_SWEEP
+        assert set(figure.series) == set(WORKLOAD_NAMES)
+
+    def test_reduction_factors_partition(self):
+        factors = fig7.reduction_factors(fig7.generate())
+        from repro.workloads.profiles import LINE_RESPONDERS
+
+        for name in LINE_RESPONDERS:
+            assert factors[name] > 2.5
+        for name in set(WORKLOAD_NAMES) - set(LINE_RESPONDERS):
+            assert factors[name] < 2.5
+
+    def test_main_prints(self, capsys):
+        fig7.main()
+        assert "reduction factor" in capsys.readouterr().out
+
+
+class TestFig8:
+    def test_rows_and_orderings(self):
+        rows = fig8.generate()
+        assert len(rows) == 8
+        by_name = {r.workload: r for r in rows}
+        assert not by_name["SNP"].parallel_wins
+        assert not by_name["MDS"].parallel_wins
+        assert by_name["SHOT"].parallel_wins
+
+    def test_main_prints(self, capsys):
+        fig8.main()
+        output = capsys.readouterr().out
+        assert "Serial gain" in output and "%" in output
+
+
+class TestRunAll:
+    def test_runall_executes_everything(self, capsys):
+        from repro.harness import runall
+
+        runall.main([])
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "Table 2" in output
+        for figure_number in (4, 5, 6, 7, 8):
+            assert f"Figure {figure_number}" in output

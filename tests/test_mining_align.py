@@ -1,0 +1,104 @@
+"""Tests for Smith-Waterman alignment (PLSA)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mining.align import (
+    sw_best_score,
+    sw_score_matrix,
+    sw_traceback,
+    traced_plsa_kernel,
+)
+from repro.mining.datasets import dna_pair
+from repro.trace.instrument import MemoryArena, TraceRecorder
+
+
+def encode(text: str) -> np.ndarray:
+    return np.array(["ACGT".index(c) for c in text], dtype=np.uint8)
+
+
+class TestScoreMatrix:
+    def test_known_alignment(self):
+        # Classic example: identical substring scores match * length.
+        a = encode("ACGT")
+        b = encode("ACGT")
+        h = sw_score_matrix(a, b)
+        assert h.max() == 8  # 4 matches x 2
+
+    def test_no_negative_cells(self):
+        a, b = dna_pair(length=40, seed=3)
+        assert sw_score_matrix(a, b).min() >= 0
+
+    def test_disjoint_sequences_score_low(self):
+        a = encode("AAAA")
+        b = encode("CCCC")
+        assert sw_score_matrix(a, b).max() == 0
+
+    def test_gap_handling(self):
+        a = encode("ACGTACGT")
+        b = encode("ACGACGT")  # one deletion
+        best, path = sw_traceback(a, b)
+        assert best >= 2 * 7 - 3  # 7 matches minus one gap
+
+
+class TestLinearSpace:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_matches_full_matrix(self, seed):
+        a, b = dna_pair(length=60, seed=seed)
+        assert sw_best_score(a, b) == int(sw_score_matrix(a, b).max())
+
+    def test_asymmetric_lengths(self):
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 4, size=30, dtype=np.uint8)
+        b = rng.integers(0, 4, size=90, dtype=np.uint8)
+        assert sw_best_score(a, b) == int(sw_score_matrix(a, b).max())
+
+    def test_symmetry(self):
+        a, b = dna_pair(length=50, seed=9)
+        assert sw_best_score(a, b) == sw_best_score(b, a)
+
+
+class TestTraceback:
+    def test_path_is_increasing(self):
+        a, b = dna_pair(length=50, seed=11)
+        _, path = sw_traceback(a, b)
+        for (i1, j1), (i2, j2) in zip(path, path[1:]):
+            assert i2 > i1 and j2 > j1
+
+    def test_homologs_align_long(self):
+        a, b = dna_pair(length=80, divergence=0.05, seed=13)
+        best, path = sw_traceback(a, b)
+        assert len(path) > 40  # long local alignment found
+
+
+class TestTracedKernel:
+    def test_wavefront_partitioning(self):
+        results = []
+        for threads, thread_id in ((1, 0), (2, 0), (2, 1)):
+            recorder = TraceRecorder()
+            best = traced_plsa_kernel(
+                recorder,
+                MemoryArena(),
+                length=96,
+                threads=threads,
+                thread_id=thread_id,
+            )
+            results.append((best, recorder.access_count))
+        # Each of two threads traces roughly half the single-thread work.
+        single_accesses = results[0][1]
+        for _, accesses in results[1:]:
+            assert accesses < 0.75 * single_accesses
+
+    def test_rejects_bad_thread_id(self):
+        with pytest.raises(ConfigurationError):
+            traced_plsa_kernel(
+                TraceRecorder(), MemoryArena(), length=32, threads=2, thread_id=2
+            )
+
+    def test_streaming_access_pattern(self):
+        from repro.trace.stats import dominant_stride_fraction
+
+        recorder = TraceRecorder()
+        traced_plsa_kernel(recorder, MemoryArena(), length=96)
+        assert dominant_stride_fraction(recorder.trace()) > 0.6

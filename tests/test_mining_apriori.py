@@ -1,0 +1,59 @@
+"""Tests for the Apriori baseline and its agreement with FP-growth."""
+
+import pytest
+
+from repro.mining.apriori import apriori, generate_candidates
+from repro.mining.datasets import transactions
+from repro.mining.fpgrowth import fp_growth
+from repro.trace.instrument import MemoryArena, TraceRecorder
+
+
+class TestCandidateGeneration:
+    def test_join_on_shared_prefix(self):
+        frequent = [(1, 2), (1, 3), (2, 3)]
+        assert generate_candidates(frequent) == [(1, 2, 3)]
+
+    def test_prune_infrequent_subsets(self):
+        # (1,2,3) needs (2,3) frequent; it is not.
+        frequent = [(1, 2), (1, 3)]
+        assert generate_candidates(frequent) == []
+
+    def test_no_join_without_prefix_match(self):
+        assert generate_candidates([(1, 2), (3, 4)]) == []
+
+
+class TestAprioriCorrectness:
+    @pytest.mark.parametrize("seed,min_support", [(3, 20), (7, 12)])
+    def test_agrees_with_fp_growth(self, seed, min_support):
+        data = transactions(n_transactions=150, n_items=20, avg_length=5, seed=seed)
+        assert apriori(data, min_support) == fp_growth(data, min_support)
+
+    def test_max_size_truncates(self):
+        data = transactions(n_transactions=100, n_items=15, seed=5)
+        limited = apriori(data, min_support=10, max_size=2)
+        assert all(len(itemset) <= 2 for itemset in limited)
+
+    def test_empty_database(self):
+        assert apriori([], min_support=1) == {}
+
+    def test_apriori_property_holds(self):
+        data = transactions(n_transactions=150, n_items=15, seed=9)
+        mined = apriori(data, min_support=12)
+        for itemset, support in mined.items():
+            for drop in range(len(itemset)):
+                subset = itemset[:drop] + itemset[drop + 1 :]
+                if subset:
+                    assert mined[subset] >= support
+
+
+class TestAprioriMemoryBehaviour:
+    def test_rescans_database_per_level(self):
+        """Apriori's signature: one full database pass per itemset size
+        — many times FP-growth's two passes."""
+        data = transactions(n_transactions=120, n_items=15, avg_length=6, seed=11)
+        recorder = TraceRecorder()
+        result = apriori(data, min_support=8, recorder=recorder, arena=MemoryArena())
+        database_items = sum(len(t) for t in data)
+        levels = max(len(k) for k in result) if result else 0
+        # At least (levels) full scans recorded (level 1 + each join level).
+        assert recorder.access_count >= database_items * levels

@@ -1,0 +1,112 @@
+"""Tests for Bayesian-network structure learning (SNP)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mining.bayesnet import (
+    BayesNet,
+    family_bic,
+    family_counts,
+    hill_climb,
+    score,
+    traced_snp_kernel,
+)
+from repro.mining.datasets import genotype_matrix
+from repro.trace.instrument import MemoryArena, TraceRecorder
+
+
+class TestFamilyCounts:
+    def test_no_parents(self):
+        data = np.array([[0], [1], [1]], dtype=np.uint8)
+        counts = family_counts(data, node=0, parents=())
+        assert counts.tolist() == [[1, 2]]
+
+    def test_one_parent(self):
+        data = np.array([[0, 0], [0, 1], [1, 1], [1, 1]], dtype=np.uint8)
+        counts = family_counts(data, node=1, parents=(0,))
+        # parent=0: child values 0:1, 1:1 ; parent=1: child 1 twice
+        assert counts.tolist() == [[1, 1], [0, 2]]
+
+    def test_two_parents_config_indexing(self):
+        data = np.array([[1, 1, 0]], dtype=np.uint8)
+        counts = family_counts(data, node=2, parents=(0, 1))
+        assert counts[3, 0] == 1  # both parents 1 → config 0b11
+
+
+class TestFamilyBIC:
+    def test_dependent_parent_raises_score(self):
+        rng = np.random.default_rng(3)
+        parent = (rng.random(500) < 0.5).astype(np.uint8)
+        child = parent.copy()
+        flip = rng.random(500) < 0.1
+        child[flip] = 1 - child[flip]
+        data = np.stack([parent, child], axis=1)
+        assert family_bic(data, 1, (0,)) > family_bic(data, 1, ())
+
+    def test_independent_parent_penalized(self):
+        rng = np.random.default_rng(5)
+        data = (rng.random((500, 2)) < 0.5).astype(np.uint8)
+        assert family_bic(data, 1, (0,)) < family_bic(data, 1, ())
+
+    def test_empty_data_defined(self):
+        data = np.zeros((0, 2), dtype=np.uint8)
+        assert math.isfinite(family_bic(data, 0, ()))
+
+
+class TestBayesNet:
+    def test_cycle_detection(self):
+        net = BayesNet.empty(3)
+        net.parents[1].add(0)  # 0 -> 1
+        net.parents[2].add(1)  # 1 -> 2
+        assert net.would_cycle(2, 0)  # 2 -> 0 closes the cycle
+        assert not net.would_cycle(0, 2)
+
+    def test_edges_listing(self):
+        net = BayesNet.empty(3)
+        net.parents[2].add(0)
+        net.parents[2].add(1)
+        assert net.edges() == [(0, 2), (1, 2)]
+
+
+class TestHillClimb:
+    def test_finds_linked_structure(self):
+        data = genotype_matrix(n_sequences=400, length=8, seed=7)
+        net, final_score = hill_climb(data, max_parents=2)
+        assert len(net.edges()) > 0
+        assert final_score > score(data, BayesNet.empty(8))
+
+    def test_result_is_acyclic(self):
+        data = genotype_matrix(n_sequences=200, length=10, seed=9)
+        net, _ = hill_climb(data, max_parents=3)
+        # Topological check: repeatedly remove sink-free nodes.
+        remaining = set(range(net.n))
+        parents = {v: set(net.parents[v]) & remaining for v in remaining}
+        while remaining:
+            roots = [v for v in remaining if not parents[v]]
+            assert roots, "cycle detected in learned network"
+            for root in roots:
+                remaining.discard(root)
+            parents = {v: set(net.parents[v]) & remaining for v in remaining}
+
+    def test_respects_max_parents(self):
+        data = genotype_matrix(n_sequences=300, length=8, seed=11)
+        net, _ = hill_climb(data, max_parents=1)
+        assert all(len(p) <= 1 for p in net.parents)
+
+    def test_score_decomposability(self):
+        """Total score equals the sum of family scores."""
+        data = genotype_matrix(n_sequences=200, length=6, seed=13)
+        net, reported = hill_climb(data, max_parents=2)
+        assert reported == pytest.approx(score(data, net))
+
+
+class TestTracedKernel:
+    def test_runs_and_traces_column_scans(self):
+        recorder = TraceRecorder()
+        net, _ = traced_snp_kernel(
+            recorder, MemoryArena(), n_sequences=80, length=8
+        )
+        assert recorder.access_count > 1000
+        assert isinstance(net, BayesNet)

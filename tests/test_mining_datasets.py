@@ -1,0 +1,129 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.mining import datasets
+
+
+class TestGenotypeMatrix:
+    def test_shape_and_dtype(self):
+        data = datasets.genotype_matrix(100, 20, seed=1)
+        assert data.shape == (100, 20)
+        assert set(np.unique(data)) <= {0, 1}
+
+    def test_linkage_creates_correlation(self):
+        data = datasets.genotype_matrix(2000, 30, seed=2).astype(float)
+        correlations = [
+            abs(np.corrcoef(data[:, j], data[:, j + 1])[0, 1])
+            for j in range(29)
+            if data[:, j].std() > 0 and data[:, j + 1].std() > 0
+        ]
+        assert max(correlations) > 0.5  # some loci are linked
+
+    def test_deterministic(self):
+        a = datasets.genotype_matrix(50, 10, seed=3)
+        b = datasets.genotype_matrix(50, 10, seed=3)
+        assert np.array_equal(a, b)
+
+
+class TestMicroArray:
+    def test_shapes(self):
+        data = datasets.micro_array(samples=30, genes=50, informative=5, seed=1)
+        assert data.expression.shape == (30, 50)
+        assert data.labels.shape == (30,)
+        assert len(data.informative) == 5
+
+    def test_labels_are_binary(self):
+        data = datasets.micro_array(seed=2)
+        assert set(np.unique(data.labels)) <= {-1, 1}
+
+    def test_informative_genes_separate_classes(self):
+        data = datasets.micro_array(samples=200, genes=50, informative=5, seed=3)
+        gene = data.informative[0]
+        positive = data.expression[data.labels == 1, gene].mean()
+        negative = data.expression[data.labels == -1, gene].mean()
+        assert positive - negative > 1.0
+
+
+class TestRNASequences:
+    def test_database_alphabet(self):
+        database = datasets.rna_database(500, seed=1)
+        assert set(np.unique(database)) <= {0, 1, 2, 3}
+
+    def test_query_is_hairpin(self):
+        query = datasets.rna_query(30, seed=2)
+        half = len(query) // 2
+        # Second half is the reverse complement of the first.
+        assert np.array_equal(query[half:], (3 - query[:half])[::-1])
+
+    def test_plant_homolog_mutates_but_preserves(self):
+        database = datasets.rna_database(200, seed=3)
+        query = datasets.rna_query(40, seed=4)
+        planted = datasets.plant_homolog(database, query, 50, mutation_rate=0.1)
+        window = planted[50:90]
+        identity = (window == query).mean()
+        assert 0.8 < identity <= 1.0
+        # Rest of the database untouched.
+        assert np.array_equal(planted[:50], database[:50])
+
+
+class TestTransactions:
+    def test_sizes_and_sorting(self):
+        data = datasets.transactions(n_transactions=100, n_items=30, seed=1)
+        assert len(data) == 100
+        for transaction in data:
+            assert transaction == sorted(transaction)
+            assert len(set(transaction)) == len(transaction)
+
+    def test_zipf_popularity(self):
+        data = datasets.transactions(
+            n_transactions=2000, n_items=100, zipf_alpha=1.3, seed=2
+        )
+        counts = np.zeros(100)
+        for transaction in data:
+            for item in transaction:
+                counts[item] += 1
+        assert counts.max() > 5 * np.median(counts[counts > 0])
+
+
+class TestDNAPair:
+    def test_divergence_controls_identity(self):
+        close_a, close_b = datasets.dna_pair(length=400, divergence=0.05, seed=3)
+        far_a, far_b = datasets.dna_pair(length=400, divergence=0.5, seed=3)
+        close_identity = (close_a == close_b).mean()
+        far_identity = (far_a == far_b).mean()
+        assert close_identity > far_identity
+
+
+class TestDocumentSet:
+    def test_structure(self):
+        documents = datasets.document_set(n_documents=5, sentences_per_document=4, seed=1)
+        assert len(documents.sentences) == 20
+        assert max(documents.document_of) == 4
+        assert len(documents.query) == 6
+
+    def test_topic_overlap_across_documents(self):
+        documents = datasets.document_set(n_documents=6, seed=2)
+        vocabularies = {}
+        for sentence, document in zip(documents.sentences, documents.document_of):
+            vocabularies.setdefault(document, set()).update(sentence)
+        shared = set.intersection(*vocabularies.values())
+        assert shared  # the common topic words
+
+
+class TestSyntheticVideo:
+    def test_shapes(self):
+        video = datasets.synthetic_video(n_frames=20, height=24, width=32, seed=1)
+        assert video.frames.shape == (20, 24, 32, 3)
+        assert video.shot_boundaries[0] == 0
+        assert len(video.view_types) == len(video.shot_boundaries)
+
+    def test_boundaries_sorted_within_range(self):
+        video = datasets.synthetic_video(n_frames=40, seed=2)
+        assert video.shot_boundaries == sorted(video.shot_boundaries)
+        assert all(0 <= b < 40 for b in video.shot_boundaries)
+
+    def test_view_types_valid(self):
+        video = datasets.synthetic_video(n_frames=40, seed=3)
+        assert set(video.view_types) <= set(datasets.VIEW_TYPES)

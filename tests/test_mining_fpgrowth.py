@@ -1,0 +1,104 @@
+"""Tests for FP-growth (FIMI)."""
+
+import pytest
+
+from repro.mining.datasets import transactions
+from repro.mining.fpgrowth import (
+    FPTree,
+    bruteforce_frequent_itemsets,
+    first_scan,
+    fp_growth,
+    order_transaction,
+)
+from repro.trace.instrument import MemoryArena, TraceRecorder
+
+
+class TestFirstScan:
+    def test_counts_and_filters(self):
+        data = [[1, 2], [1, 3], [1, 2]]
+        assert first_scan(data, min_support=2) == {1: 3, 2: 2}
+
+    def test_order_transaction(self):
+        frequent = {1: 3, 2: 2, 3: 5}
+        assert order_transaction([2, 1, 3, 9], frequent) == [3, 1, 2]
+
+    def test_order_breaks_ties_by_item(self):
+        frequent = {4: 2, 2: 2}
+        assert order_transaction([4, 2], frequent) == [2, 4]
+
+
+class TestFPTree:
+    def test_shared_prefix_compression(self):
+        tree = FPTree(min_support=1)
+        tree.insert([1, 2, 3])
+        tree.insert([1, 2, 4])
+        assert tree.node_count == 4  # 1,2 shared; 3,4 distinct
+
+    def test_header_chains_homonyms(self):
+        tree = FPTree(min_support=1)
+        tree.insert([1, 2])
+        tree.insert([3, 2])
+        node = tree.header[2]
+        chain = []
+        while node is not None:
+            chain.append(node.item)
+            node = node.next_homonym
+        assert chain == [2, 2]
+
+    def test_supports_accumulate(self):
+        tree = FPTree(min_support=1)
+        tree.insert([1, 2])
+        tree.insert([1])
+        assert tree.supports[1] == 2
+        assert tree.supports[2] == 1
+
+
+class TestFPGrowthCorrectness:
+    @pytest.mark.parametrize("seed,min_support", [(3, 20), (5, 12), (8, 30)])
+    def test_matches_bruteforce(self, seed, min_support):
+        data = transactions(n_transactions=150, n_items=20, avg_length=5, seed=seed)
+        mined = fp_growth(data, min_support)
+        expected = bruteforce_frequent_itemsets(data, min_support, max_size=4)
+        mined_small = {k: v for k, v in mined.items() if len(k) <= 4}
+        assert mined_small == expected
+
+    def test_empty_transactions(self):
+        assert fp_growth([], min_support=1) == {}
+
+    def test_min_support_monotonicity(self):
+        data = transactions(n_transactions=100, n_items=15, seed=7)
+        low = fp_growth(data, min_support=10)
+        high = fp_growth(data, min_support=30)
+        assert set(high) <= set(low)
+
+    def test_apriori_property(self):
+        """Every subset of a frequent itemset is frequent with >= support."""
+        data = transactions(n_transactions=200, n_items=15, seed=11)
+        mined = fp_growth(data, min_support=15)
+        for itemset, support in mined.items():
+            if len(itemset) > 1:
+                for drop in range(len(itemset)):
+                    subset = itemset[:drop] + itemset[drop + 1 :]
+                    assert subset in mined
+                    assert mined[subset] >= support
+
+
+class TestInstrumentedFPGrowth:
+    def test_emits_tree_traffic(self):
+        recorder = TraceRecorder()
+        arena = MemoryArena()
+        data = transactions(n_transactions=80, n_items=15, seed=13)
+        result = fp_growth(data, min_support=8, recorder=recorder, arena=arena)
+        assert result  # mined something
+        trace = recorder.trace()
+        assert len(trace) > 1000  # tree walks recorded
+        assert trace.write_count() > 0  # node updates
+        assert trace.read_count() > 0  # traversals
+
+    def test_instrumentation_does_not_change_results(self):
+        data = transactions(n_transactions=80, n_items=15, seed=17)
+        plain = fp_growth(data, min_support=8)
+        traced = fp_growth(
+            data, min_support=8, recorder=TraceRecorder(), arena=MemoryArena()
+        )
+        assert plain == traced

@@ -1,0 +1,125 @@
+"""Tests for SCFG decoding and RSEARCH scanning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mining.datasets import plant_homolog, rna_database, rna_query
+from repro.mining.scfg import (
+    PairingSCFG,
+    SCFG,
+    cyk_inside,
+    null_model_logp,
+    rna_hairpin_grammar,
+    rsearch_scan,
+    traced_rsearch_kernel,
+    window_bitscore,
+)
+from repro.trace.instrument import MemoryArena, TraceRecorder
+
+
+class TestCNFGrammar:
+    def test_terminal_shape_validated(self):
+        with pytest.raises(ConfigurationError):
+            SCFG(n_nonterminals=2, binary_rules=(), terminal_logp=np.zeros((3, 4)))
+
+    def test_cyk_single_symbol(self):
+        grammar = rna_hairpin_grammar()
+        sequence = np.array([0], dtype=np.uint8)
+        assert cyk_inside(grammar, sequence) == pytest.approx(
+            grammar.terminal_logp[0, 0]
+        )
+
+    def test_cyk_empty(self):
+        assert cyk_inside(rna_hairpin_grammar(), np.array([], dtype=np.uint8)) < -1e17
+
+    def test_cyk_is_best_derivation(self):
+        """Brute-force max derivation over all split/rule choices (n=3)."""
+        grammar = rna_hairpin_grammar()
+        sequence = np.array([0, 2, 1], dtype=np.uint8)
+
+        def best(symbol, i, j):
+            if i == j:
+                return grammar.terminal_logp[symbol, sequence[i]]
+            candidates = []
+            for a, b, c, log_p in grammar.binary_rules:
+                if a != symbol:
+                    continue
+                for split in range(i, j):
+                    candidates.append(
+                        log_p + best(b, i, split) + best(c, split + 1, j)
+                    )
+            return max(candidates) if candidates else -1e18
+
+        assert cyk_inside(grammar, sequence) == pytest.approx(best(0, 0, 2))
+
+    def test_longer_sequences_score_lower(self):
+        grammar = rna_hairpin_grammar()
+        short = cyk_inside(grammar, np.array([0, 3], dtype=np.uint8))
+        long = cyk_inside(grammar, np.array([0, 3, 0, 3, 0, 3], dtype=np.uint8))
+        assert long < short  # probabilities multiply
+
+
+class TestPairingSCFG:
+    def test_perfect_hairpin_scores_all_pairs(self):
+        grammar = PairingSCFG(pair_bonus=2.0, unpaired_score=-0.3)
+        # A A U U: nested pairs (A-U, A-U).
+        hairpin = np.array([0, 0, 3, 3], dtype=np.uint8)
+        assert grammar.cyk_score(hairpin) == pytest.approx(4.0)
+
+    def test_unpairable_sequence(self):
+        grammar = PairingSCFG()
+        # All A's: A-A is not complementary.
+        poly_a = np.array([0, 0, 0, 0], dtype=np.uint8)
+        # Best is to leave everything unpaired (mismatch pairs are worse).
+        assert grammar.cyk_score(poly_a) == pytest.approx(4 * -0.3)
+
+    def test_bifurcation_finds_two_stems(self):
+        grammar = PairingSCFG()
+        # (AU)(CG) side by side — needs the S→SS rule.
+        two_stems = np.array([0, 3, 1, 2], dtype=np.uint8)
+        assert grammar.cyk_score(two_stems) == pytest.approx(4.0)
+
+    def test_query_hairpin_scores_maximally(self):
+        grammar = PairingSCFG()
+        query = rna_query(20, seed=3)
+        score = grammar.cyk_score(query)
+        assert score == pytest.approx(10 * grammar.pair_bonus)
+
+
+class TestRSearchScan:
+    def test_finds_planted_homolog(self):
+        grammar = PairingSCFG()
+        database = rna_database(240, seed=2)
+        query = rna_query(24, seed=4)
+        planted = plant_homolog(database, query, position=96)
+        scores = rsearch_scan(grammar, planted, window=24, step=4, query=query)
+        best_position = max(scores, key=lambda s: s[1])[0]
+        assert abs(best_position - 96) <= 4
+
+    def test_scan_covers_database(self):
+        grammar = PairingSCFG()
+        database = rna_database(100, seed=6)
+        scores = rsearch_scan(grammar, database, window=20, step=10)
+        assert [s[0] for s in scores] == list(range(0, 81, 10))
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            rsearch_scan(PairingSCFG(), rna_database(50), window=0)
+
+    def test_cnf_bitscore_normalization(self):
+        grammar = rna_hairpin_grammar()
+        segment = rna_database(16, seed=8)
+        bits = window_bitscore(grammar, segment)
+        raw = cyk_inside(grammar, segment)
+        assert bits == pytest.approx((raw - null_model_logp(segment)) / np.log(2.0))
+
+
+class TestTracedKernel:
+    def test_traces_database_stream_and_chart_reuse(self):
+        recorder = TraceRecorder()
+        scores = traced_rsearch_kernel(
+            recorder, MemoryArena(), database_length=200, window=16, step=16
+        )
+        assert len(scores) == 12
+        assert recorder.access_count > 1000

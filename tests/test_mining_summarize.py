@@ -1,0 +1,140 @@
+"""Tests for multi-document summarization (MDS)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mining.datasets import document_set
+from repro.mining.summarize import (
+    mmr_select,
+    query_bias,
+    rank_sentences,
+    similarity_matrix,
+    summarize,
+    term_vectors,
+    traced_mds_kernel,
+)
+from repro.trace.instrument import MemoryArena, TraceRecorder
+
+
+class TestVectorsAndSimilarity:
+    def test_term_vectors_normalized(self):
+        vectors = term_vectors([[1, 1, 2], [3]], vocabulary_size=5)
+        norms = np.linalg.norm(vectors, axis=1)
+        assert norms == pytest.approx([1.0, 1.0])
+
+    def test_empty_sentence_safe(self):
+        vectors = term_vectors([[]], vocabulary_size=3)
+        assert not np.isnan(vectors).any()
+
+    def test_similarity_diagonal_zeroed(self):
+        vectors = term_vectors([[1], [1]], vocabulary_size=3)
+        sims = similarity_matrix(vectors)
+        assert sims[0, 0] == 0.0
+        assert sims[0, 1] == pytest.approx(1.0)
+
+    def test_identical_sentences_max_similarity(self):
+        vectors = term_vectors([[1, 2], [1, 2], [3, 4]], vocabulary_size=6)
+        sims = similarity_matrix(vectors)
+        assert sims[0, 1] == pytest.approx(1.0)
+        assert sims[0, 2] == pytest.approx(0.0)
+
+
+class TestRanking:
+    def test_ranks_sum_to_one(self):
+        documents = document_set(n_documents=4, sentences_per_document=4, seed=3)
+        vectors = term_vectors(documents.sentences, documents.vocabulary_size)
+        sims = similarity_matrix(vectors)
+        bias = query_bias(vectors, documents.query, documents.vocabulary_size)
+        ranks = rank_sentences(sims, bias)
+        assert ranks.sum() == pytest.approx(1.0, abs=0.01)
+
+    def test_query_bias_prefers_query_sentences(self):
+        # Sentence 0 contains the query terms; sentence 1 does not.
+        sentences = [[1, 2, 3], [7, 8, 9], [1, 7]]
+        vectors = term_vectors(sentences, vocabulary_size=10)
+        bias = query_bias(vectors, [1, 2], vocabulary_size=10)
+        assert bias[0] > bias[1]
+
+    def test_rejects_bad_damping(self):
+        with pytest.raises(ConfigurationError):
+            rank_sentences(np.zeros((2, 2)), np.array([0.5, 0.5]), damping=1.5)
+
+
+class TestMMR:
+    def test_penalizes_redundancy(self):
+        ranks = np.array([0.5, 0.49, 0.01])
+        sims = np.zeros((3, 3))
+        sims[0, 1] = sims[1, 0] = 0.99  # 0 and 1 are near-duplicates
+        selected = mmr_select(ranks, sims, k=2, lambda_relevance=0.5)
+        assert selected[0] == 0
+        assert selected[1] == 2  # 1 is redundant with 0
+
+    def test_pure_relevance_when_lambda_one(self):
+        ranks = np.array([0.2, 0.5, 0.3])
+        sims = np.ones((3, 3))
+        assert mmr_select(ranks, sims, k=3, lambda_relevance=1.0) == [1, 2, 0]
+
+    def test_k_larger_than_corpus(self):
+        assert len(mmr_select(np.array([0.5, 0.5]), np.zeros((2, 2)), k=10)) == 2
+
+    def test_rejects_bad_lambda(self):
+        with pytest.raises(ConfigurationError):
+            mmr_select(np.array([1.0]), np.zeros((1, 1)), 1, lambda_relevance=2.0)
+
+
+class TestEndToEnd:
+    def test_summary_spans_documents(self):
+        documents = document_set(n_documents=8, sentences_per_document=6, seed=5)
+        selected = summarize(documents, k=5)
+        assert len(selected) == 5
+        covered = {documents.document_of[s] for s in selected}
+        assert len(covered) >= 3  # MMR spreads across documents
+
+    def test_deterministic(self):
+        documents = document_set(seed=7)
+        assert summarize(documents, k=4) == summarize(documents, k=4)
+
+
+class TestSummaryQuality:
+    def test_mmr_beats_pure_relevance_on_redundancy(self):
+        """The workload's raison d'etre: MMR trades a little relevance
+        for materially less redundancy."""
+        from repro.mining.summarize import summary_quality
+
+        documents = document_set(n_documents=10, sentences_per_document=8, seed=21)
+        vectors = term_vectors(documents.sentences, documents.vocabulary_size)
+        sims = similarity_matrix(vectors)
+        bias = query_bias(vectors, documents.query, documents.vocabulary_size)
+        ranks = rank_sentences(sims, bias)
+        mmr = mmr_select(ranks, sims, k=5, lambda_relevance=0.5)
+        greedy = list(np.argsort(ranks)[::-1][:5])
+        _, mmr_redundancy = summary_quality(documents, mmr)
+        _, greedy_redundancy = summary_quality(documents, [int(g) for g in greedy])
+        assert mmr_redundancy <= greedy_redundancy + 1e-9
+
+    def test_coverage_of_query_terms(self):
+        from repro.mining.summarize import summarize, summary_quality
+
+        documents = document_set(n_documents=10, sentences_per_document=8, seed=23)
+        selected = summarize(documents, k=6)
+        coverage, _ = summary_quality(documents, selected)
+        assert coverage > 0.5
+
+    def test_empty_selection(self):
+        from repro.mining.summarize import summary_quality
+
+        documents = document_set(seed=1)
+        assert summary_quality(documents, []) == (0.0, 0.0)
+
+
+class TestTracedKernel:
+    def test_traces_matrix_streaming(self):
+        recorder = TraceRecorder()
+        result = traced_mds_kernel(
+            recorder, MemoryArena(), n_documents=6, sentences_per_document=5,
+            k=3, iterations=3,
+        )
+        assert len(result.selected) == 3
+        # Power iteration streams the n x n similarity matrix each round.
+        assert recorder.access_count > result.sentences**2 * 3

@@ -1,0 +1,80 @@
+"""Tests for SVM training and RFE."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mining.datasets import micro_array
+from repro.mining.svm import rfe, train_svm, traced_rfe_kernel
+from repro.trace.instrument import MemoryArena, TraceRecorder
+
+
+class TestTrainSVM:
+    def test_separable_data_classified(self):
+        data = micro_array(samples=50, genes=40, informative=10, seed=5)
+        model = train_svm(data.expression, data.labels)
+        accuracy = (model.predict(data.expression) == data.labels).mean()
+        assert accuracy > 0.95
+
+    def test_weights_concentrate_on_informative_genes(self):
+        data = micro_array(samples=60, genes=60, informative=6, seed=9)
+        model = train_svm(data.expression, data.labels)
+        importance = model.weights**2
+        top = set(np.argsort(importance)[-6:])
+        assert len(top & set(data.informative.tolist())) >= 4
+
+    def test_alphas_bounded_by_c(self):
+        data = micro_array(samples=40, genes=30, seed=3)
+        model = train_svm(data.expression, data.labels, c=0.5)
+        assert model.alphas.min() >= 0
+        assert model.alphas.max() <= 0.5 + 1e-9
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ConfigurationError):
+            train_svm(np.zeros((4, 2)), np.array([0, 1, 2, 1]))
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ConfigurationError):
+            train_svm(np.zeros(4), np.array([1, -1, 1, -1]))
+
+
+class TestRFE:
+    def test_keeps_requested_count(self):
+        data = micro_array(samples=30, genes=64, seed=7)
+        selected = rfe(data.expression, data.labels, keep=8)
+        assert len(selected) == 8
+
+    def test_selects_informative_genes(self):
+        data = micro_array(samples=60, genes=64, informative=8, seed=11)
+        selected = rfe(data.expression, data.labels, keep=8)
+        hits = len(set(selected) & set(data.informative.tolist()))
+        assert hits >= 5  # most survivors carry signal
+
+    def test_selected_indices_valid(self):
+        data = micro_array(samples=20, genes=32, seed=13)
+        selected = rfe(data.expression, data.labels, keep=4)
+        assert all(0 <= g < 32 for g in selected)
+        assert len(set(selected)) == len(selected)
+
+    def test_rejects_bad_keep(self):
+        data = micro_array(samples=10, genes=8, seed=1)
+        with pytest.raises(ConfigurationError):
+            rfe(data.expression, data.labels, keep=0)
+
+
+class TestTracedKernel:
+    def test_runs_and_traces(self):
+        recorder = TraceRecorder()
+        arena = MemoryArena()
+        selected = traced_rfe_kernel(recorder, arena, samples=12, genes=32, keep=4)
+        assert len(selected) == 4
+        assert recorder.access_count > 500
+        assert recorder.instruction_count > recorder.access_count
+
+    def test_trace_shows_row_scans(self):
+        from repro.trace.stats import dominant_stride_fraction
+
+        recorder = TraceRecorder()
+        traced_rfe_kernel(recorder, MemoryArena(), samples=10, genes=32, keep=8)
+        # Matrix rows are read as contiguous ranges: strong stride signal.
+        assert dominant_stride_fraction(recorder.trace()) > 0.5

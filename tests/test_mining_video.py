@@ -1,0 +1,144 @@
+"""Tests for video mining (SHOT and VIEWTYPE)."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mining.datasets import synthetic_video
+from repro.mining.video import (
+    classify_video_views,
+    classify_view,
+    detect_shots,
+    histogram_difference,
+    pixel_difference,
+    rgb_histogram_48,
+    rgb_to_hsv,
+    segment_playfield,
+    train_dominant_color,
+    traced_shot_kernel,
+    traced_viewtype_kernel,
+    view_features,
+    ViewFeatures,
+)
+from repro.trace.instrument import MemoryArena, TraceRecorder
+
+
+class TestHistogram:
+    def test_48_bins_normalized(self):
+        frame = np.zeros((8, 8, 3), dtype=np.uint8)
+        histogram = rgb_histogram_48(frame)
+        assert histogram.shape == (48,)
+        assert histogram[:16].sum() == pytest.approx(1.0)  # per-channel mass
+
+    def test_uniform_frame_single_bin_per_channel(self):
+        frame = np.full((8, 8, 3), 200, dtype=np.uint8)
+        histogram = rgb_histogram_48(frame)
+        assert np.count_nonzero(histogram) == 3
+
+    def test_rejects_grayscale(self):
+        with pytest.raises(ConfigurationError):
+            rgb_histogram_48(np.zeros((8, 8), dtype=np.uint8))
+
+    def test_histogram_difference_bounds(self):
+        black = rgb_histogram_48(np.zeros((8, 8, 3), dtype=np.uint8))
+        white = rgb_histogram_48(np.full((8, 8, 3), 255, dtype=np.uint8))
+        assert histogram_difference(black, black) == 0.0
+        assert histogram_difference(black, white) == pytest.approx(6.0)
+
+    def test_pixel_difference(self):
+        a = np.zeros((4, 4, 3), dtype=np.uint8)
+        b = np.full((4, 4, 3), 255, dtype=np.uint8)
+        assert pixel_difference(a, a) == 0.0
+        assert pixel_difference(a, b) == pytest.approx(1.0)
+
+
+class TestShotDetection:
+    @pytest.mark.parametrize("seed", [8, 21, 34])
+    def test_recovers_ground_truth(self, seed):
+        video = synthetic_video(n_frames=50, seed=seed)
+        detected = detect_shots(video.frames)
+        truth = set(video.shot_boundaries)
+        found = set(detected)
+        recall = len(truth & found) / len(truth)
+        assert recall >= 0.8
+        false_positives = found - truth
+        assert len(false_positives) <= 1
+
+    def test_static_video_no_boundaries(self):
+        frame = np.full((16, 16, 3), 128, dtype=np.uint8)
+        frames = np.stack([frame] * 10)
+        assert detect_shots(frames) == [0]
+
+
+class TestHSV:
+    def test_primary_hues(self):
+        red = np.array([[[255, 0, 0]]], dtype=np.uint8)
+        green = np.array([[[0, 255, 0]]], dtype=np.uint8)
+        blue = np.array([[[0, 0, 255]]], dtype=np.uint8)
+        assert rgb_to_hsv(red)[0, 0, 0] == pytest.approx(0.0)
+        assert rgb_to_hsv(green)[0, 0, 0] == pytest.approx(120.0)
+        assert rgb_to_hsv(blue)[0, 0, 0] == pytest.approx(240.0)
+
+    def test_grey_has_no_saturation(self):
+        grey = np.full((2, 2, 3), 100, dtype=np.uint8)
+        hsv = rgb_to_hsv(grey)
+        assert hsv[..., 1].max() == 0.0
+
+    def test_value_channel(self):
+        bright = np.array([[[255, 255, 255]]], dtype=np.uint8)
+        assert rgb_to_hsv(bright)[0, 0, 2] == pytest.approx(1.0)
+
+
+class TestDominantColor:
+    def test_trained_range_segments_playfield(self):
+        video = synthetic_video(n_frames=24, seed=8)
+        hue_range = train_dominant_color(video.frames[:12])
+        # The playfield color is green-ish: hue in the trained range.
+        frame = video.frames[0]
+        mask = segment_playfield(frame, hue_range)
+        assert mask.shape == frame.shape[:2]
+
+
+class TestViewClassification:
+    def test_thresholds(self):
+        assert classify_view(ViewFeatures(0.0, 0.0)) == "outofview"
+        assert classify_view(ViewFeatures(0.8, 0.01)) == "global"
+        assert classify_view(ViewFeatures(0.4, 0.05)) == "medium"
+        assert classify_view(ViewFeatures(0.15, 0.2)) == "closeup"
+
+    @pytest.mark.parametrize("seed", [8, 13])
+    def test_per_shot_majority_matches_truth(self, seed):
+        video = synthetic_video(n_frames=60, seed=seed)
+        views = classify_video_views(video.frames)
+        bounds = video.shot_boundaries + [len(video.frames)]
+        correct = 0
+        for i, truth in enumerate(video.view_types):
+            window = views[bounds[i] : bounds[i + 1]]
+            majority = collections.Counter(window).most_common(1)[0][0]
+            correct += majority == truth
+        assert correct / len(video.view_types) >= 0.7
+
+
+class TestTracedKernels:
+    def test_shot_kernel_streams_frames(self):
+        from repro.trace.stats import dominant_stride_fraction
+
+        recorder = TraceRecorder()
+        boundaries = traced_shot_kernel(
+            recorder, MemoryArena(), n_frames=12, height=16, width=20
+        )
+        assert boundaries[0] == 0
+        trace = recorder.trace()
+        assert len(trace) > 10_000
+        assert dominant_stride_fraction(trace) > 0.9  # pure streaming
+
+    def test_viewtype_kernel_two_passes(self):
+        recorder = TraceRecorder()
+        views = traced_viewtype_kernel(
+            recorder, MemoryArena(), n_frames=6, height=16, width=20
+        )
+        assert len(views) == 6
+        # Two full passes per frame over h*w*3 bytes.
+        assert recorder.access_count == 6 * 2 * 16 * 20 * 3

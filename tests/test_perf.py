@@ -1,0 +1,126 @@
+"""Tests for the performance models (CPI stack, bandwidth, Figure 8)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.bandwidth import BusModel, bandwidth_headroom
+from repro.perf.cpi import cpi_stack, paper_ipc, predicted_ipc
+from repro.perf.prefetch_study import (
+    component_prefetch_fraction,
+    contention_headroom,
+    coverage_at,
+    prefetch_gain,
+    prefetch_study,
+)
+from repro.workloads.profiles import (
+    PAPER_TABLE2,
+    PREFETCH_PARALLEL_WINNERS,
+    PREFETCH_SERIAL_WINNERS,
+    WORKLOAD_NAMES,
+    memory_model,
+)
+
+ALL = list(WORKLOAD_NAMES)
+
+
+class TestCpiStack:
+    @pytest.mark.parametrize("name", ALL)
+    def test_model_ipc_matches_paper(self, name):
+        model = memory_model(name)
+        ipc = predicted_ipc(name, model.dl1_mpki(), model.dl2_mpki())
+        assert ipc == pytest.approx(paper_ipc(name), rel=0.10)
+
+    def test_ipc_ordering(self):
+        """MDS slowest, PLSA fastest (Table 2)."""
+        ipcs = {
+            name: predicted_ipc(
+                name, memory_model(name).dl1_mpki(), memory_model(name).dl2_mpki()
+            )
+            for name in ALL
+        }
+        assert min(ipcs, key=ipcs.get) == "MDS"
+        assert max(ipcs, key=ipcs.get) == "PLSA"
+
+    def test_stack_decomposition(self):
+        stack = cpi_stack("SNP", dl1_mpki=12.0, dl2_mpki=7.77)
+        assert stack.total == pytest.approx(
+            stack.base + stack.exposure * (stack.l2_stall + stack.memory_stall)
+        )
+        assert 0 < stack.memory_bound_fraction < 1
+
+    def test_more_misses_lower_ipc(self):
+        low = predicted_ipc("FIMI", 10.0, 2.0)
+        high = predicted_ipc("FIMI", 30.0, 10.0)
+        assert high < low
+
+
+class TestBusModel:
+    def test_demand_bandwidth_scales_with_threads(self):
+        bus = BusModel()
+        one = bus.demand_bandwidth(mpki=4.0, cpi=1.0, threads=1)
+        sixteen = bus.demand_bandwidth(mpki=4.0, cpi=1.0, threads=16)
+        assert sixteen == pytest.approx(16 * one)
+
+    def test_utilization_capped(self):
+        bus = BusModel(peak_bytes_per_second=1e6)
+        assert bus.utilization(mpki=100.0, cpi=1.0, threads=32) == 1.0
+
+    def test_headroom_complement(self):
+        bus = BusModel()
+        utilization = bus.utilization(5.0, 2.0, 4)
+        assert bandwidth_headroom(bus, 5.0, 2.0, 4) == pytest.approx(1 - utilization)
+
+    def test_rejects_bad_cpi(self):
+        with pytest.raises(ConfigurationError):
+            BusModel().demand_bandwidth(1.0, 0.0, 1)
+
+
+class TestPrefetchStudy:
+    def test_all_workloads_gain(self):
+        """Figure 8: 'the performance of all applications is considerably
+        improved' — every gain is positive in both modes."""
+        for name, (serial, parallel) in prefetch_study().items():
+            assert serial.speedup_percent > 0, name
+            assert parallel.speedup_percent > 0, name
+
+    def test_maximum_gain_near_paper(self):
+        """Paper: 'up to 33%' — the best gain lands in the 25-45% band."""
+        best = max(
+            max(s.speedup_percent, p.speedup_percent)
+            for s, p in prefetch_study().values()
+        )
+        assert 25.0 < best < 45.0
+
+    @pytest.mark.parametrize("name", list(PREFETCH_PARALLEL_WINNERS))
+    def test_parallel_winners(self, name):
+        serial, parallel = prefetch_study()[name]
+        assert parallel.speedup_percent > serial.speedup_percent
+
+    @pytest.mark.parametrize("name", list(PREFETCH_SERIAL_WINNERS))
+    def test_bandwidth_bound_serial_winners(self, name):
+        """SNP and MDS: high miss rates starve parallel prefetching."""
+        serial, parallel = prefetch_study()[name]
+        assert serial.speedup_percent > parallel.speedup_percent
+
+    def test_headroom_shrinks_with_contention(self):
+        assert contention_headroom(18.95, 16) < contention_headroom(18.95, 1)
+        assert contention_headroom(0.2, 16) > 0.9
+
+    def test_coverage_reflects_component_mix(self):
+        # SNP's misses are mostly streams; FIMI's mostly pointer chases.
+        snp = coverage_at(memory_model("SNP"), 512 * 1024)
+        fimi = coverage_at(memory_model("FIMI"), 512 * 1024)
+        assert snp > 0.8
+        assert fimi < 0.7
+
+    def test_prefetch_fraction_rules(self):
+        assert component_prefetch_fraction("anything", "cyclic") == 1.0
+        assert component_prefetch_fraction("anything", "stream") == 1.0
+        assert component_prefetch_fraction("unknown-name", "pointer") == 0.0
+        assert 0 < component_prefetch_fraction("fimi-tree", "pointer") < 1
+
+    def test_gain_structure(self):
+        gain = prefetch_gain("SHOT", threads=16)
+        assert gain.cpi_on < gain.cpi_off
+        assert 0 < gain.coverage_memory <= 1
+        assert 0 < gain.headroom <= 1

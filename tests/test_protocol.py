@@ -1,0 +1,83 @@
+"""Tests for the FSB message protocol codec."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol import Message, MessageCodec, MessageKind
+
+
+class TestClassification:
+    def test_message_addresses_detected(self):
+        address = MessageCodec.encode(Message(MessageKind.START_EMULATION))[0]
+        assert MessageCodec.is_message(address)
+
+    def test_data_addresses_not_messages(self):
+        for address in (0x0, 0x1000_0000, 0x7FFF_FFFF_FFFF):
+            assert not MessageCodec.is_message(address)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", [
+        MessageKind.START_EMULATION,
+        MessageKind.STOP_EMULATION,
+    ])
+    def test_commands(self, kind):
+        codec = MessageCodec()
+        encoded = MessageCodec.encode(Message(kind))
+        assert len(encoded) == 1
+        assert codec.decode(encoded[0]) == Message(kind, 0)
+
+    def test_core_id_payload(self):
+        codec = MessageCodec()
+        encoded = MessageCodec.encode(Message(MessageKind.CORE_ID, 31))
+        assert codec.decode(encoded[0]) == Message(MessageKind.CORE_ID, 31)
+
+    def test_narrow_counter(self):
+        codec = MessageCodec()
+        message = Message(MessageKind.INSTRUCTIONS_RETIRED, 123456789)
+        (address,) = MessageCodec.encode(message)
+        assert codec.decode(address) == message
+
+    def test_wide_counter_two_transactions(self):
+        codec = MessageCodec()
+        payload = 3 * 10**14  # exceeds 40 bits
+        message = Message(MessageKind.CYCLES_COMPLETED, payload)
+        encoded = MessageCodec.encode(message)
+        assert len(encoded) == 2
+        assert codec.decode(encoded[0]) is None  # high half buffered
+        assert codec.decode(encoded[1]) == message
+
+    def test_decode_stream(self):
+        codec = MessageCodec()
+        messages = [
+            Message(MessageKind.START_EMULATION),
+            Message(MessageKind.CORE_ID, 5),
+            Message(MessageKind.INSTRUCTIONS_RETIRED, 2**45),
+            Message(MessageKind.STOP_EMULATION),
+        ]
+        addresses = [a for m in messages for a in MessageCodec.encode(m)]
+        assert list(codec.decode_stream(addresses)) == messages
+
+
+class TestErrors:
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            MessageCodec.encode(Message(MessageKind.CORE_ID, -1))
+
+    def test_too_wide_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            MessageCodec.encode(Message(MessageKind.INSTRUCTIONS_RETIRED, 1 << 81))
+
+    def test_wide_payload_on_command_rejected(self):
+        with pytest.raises(ProtocolError):
+            MessageCodec.encode(Message(MessageKind.CORE_ID, 1 << 41))
+
+    def test_decoding_data_address_rejected(self):
+        with pytest.raises(ProtocolError):
+            MessageCodec().decode(0x1234)
+
+    def test_unknown_opcode_rejected(self):
+        from repro.protocol import MESSAGE_BASE, _OPCODE_SHIFT
+
+        with pytest.raises(ProtocolError):
+            MessageCodec().decode(MESSAGE_BASE | (0x7F << _OPCODE_SHIFT))

@@ -1,0 +1,87 @@
+"""Tests for the set-associativity correction (Smith's model)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import CacheConfig, SetAssociativeCache
+from repro.errors import ConfigurationError
+from repro.reuse.associativity import (
+    conflict_overhead,
+    hit_probability,
+    set_associative_miss_rate,
+)
+from repro.reuse.histogram import ReuseProfile
+from repro.reuse.model import empirical_profile
+from repro.trace.generators import Region, uniform_random
+from repro.units import KB, MB
+
+
+class TestHitProbability:
+    def test_fully_associative_reduces_to_threshold(self):
+        distances = np.array([3.0, 4.0, 5.0])
+        hits = hit_probability(distances, associativity=4, num_sets=1)
+        assert list(hits) == [1.0, 0.0, 0.0]
+
+    def test_infinite_distance_never_hits(self):
+        hits = hit_probability(np.array([np.inf]), 8, 64)
+        assert hits[0] == 0.0
+
+    def test_monotone_in_distance(self):
+        distances = np.array([10.0, 100.0, 1000.0, 10000.0])
+        hits = hit_probability(distances, 8, 64)
+        assert all(a >= b for a, b in zip(hits, hits[1:]))
+
+    def test_monotone_in_associativity(self):
+        distances = np.array([500.0])
+        few = hit_probability(distances, 2, 64)[0]
+        many = hit_probability(distances, 16, 64)[0]
+        assert many >= few
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            hit_probability(np.array([1.0]), 0, 4)
+
+
+class TestSetAssociativeMissRate:
+    def test_conflicts_increase_misses(self):
+        """Set-assoc misses >= fully-assoc misses for the same capacity."""
+        profile = ReuseProfile.uniform(2000, 10.0, points=256)
+        for associativity in (1, 2, 4, 8):
+            overhead = conflict_overhead(profile, 64 * KB, 64, associativity)
+            assert overhead >= -1e-9
+
+    def test_high_associativity_converges_to_fully_assoc(self):
+        profile = ReuseProfile.uniform(2000, 10.0, points=256)
+        fully = profile.miss_rate(64 * KB / 64)
+        wide = set_associative_miss_rate(profile, 64 * KB, 64, 256)
+        assert wide == pytest.approx(fully, rel=0.05)
+
+    def test_matches_exact_simulation_on_random_traffic(self):
+        """Smith's model versus the real set-associative cache."""
+        rng = np.random.default_rng(61)
+        trace = uniform_random(Region(0, 128 * KB), count=40000, granule=64, rng=rng)
+        instructions = len(trace) * 2
+        profile = empirical_profile(trace, instructions)
+        for associativity in (2, 4, 8):
+            cache = SetAssociativeCache(
+                CacheConfig(size=16 * KB, line_size=64, associativity=associativity)
+            )
+            cache.access_chunk(trace)
+            observed = cache.stats.misses / instructions * 1000
+            predicted = set_associative_miss_rate(profile, 16 * KB, 64, associativity)
+            assert predicted == pytest.approx(observed, rel=0.08)
+
+    def test_llc_conflict_overhead_is_small(self):
+        """The assumption the reuse models rest on: at 16-way LLC
+        geometry, conflicts add only a few percent."""
+        from repro.workloads.profiles import memory_model
+
+        profile = memory_model("FIMI").profile(64, 8)
+        fully = profile.miss_rate(32 * MB / 64)
+        overhead = conflict_overhead(profile, 32 * MB, 64, 16)
+        assert overhead <= 0.12 * max(fully, 0.1)
+
+    def test_rejects_degenerate_geometry(self):
+        profile = ReuseProfile.point(10, 1.0)
+        with pytest.raises(ConfigurationError):
+            set_associative_miss_rate(profile, 64, 64, 2)

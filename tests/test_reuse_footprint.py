@@ -1,0 +1,104 @@
+"""Tests for the Denning working-set functions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reuse.footprint import (
+    distinct_in_windows,
+    footprint_at_knee,
+    working_set_function,
+    working_set_size,
+)
+from repro.trace.generators import Region, cyclic_scan, uniform_random
+from repro.trace.record import TraceChunk
+from repro.units import MB
+
+
+def brute_force_average(lines, window):
+    n = len(lines)
+    window = min(window, n)
+    totals = [
+        len(set(int(l) for l in lines[s : s + window]))
+        for s in range(0, n - window + 1)
+    ]
+    return sum(totals) / len(totals)
+
+
+class TestDistinctInWindows:
+    @pytest.mark.parametrize("window", [1, 3, 7, 20])
+    def test_matches_bruteforce_random(self, window):
+        rng = np.random.default_rng(5)
+        lines = rng.integers(0, 12, size=120).astype(np.uint64)
+        assert distinct_in_windows(lines, window) == pytest.approx(
+            brute_force_average(lines, window)
+        )
+
+    @pytest.mark.parametrize("window", [2, 5, 16])
+    def test_matches_bruteforce_cyclic(self, window):
+        lines = np.tile(np.arange(8, dtype=np.uint64), 10)
+        assert distinct_in_windows(lines, window) == pytest.approx(
+            brute_force_average(lines, window)
+        )
+
+    def test_window_one(self):
+        lines = np.array([1, 1, 2], dtype=np.uint64)
+        assert distinct_in_windows(lines, 1) == 1.0
+
+    def test_window_covers_whole_trace(self):
+        lines = np.array([1, 2, 1, 3], dtype=np.uint64)
+        assert distinct_in_windows(lines, 100) == 3.0
+
+    def test_monotone_in_window(self):
+        rng = np.random.default_rng(9)
+        lines = rng.integers(0, 64, size=500).astype(np.uint64)
+        values = [distinct_in_windows(lines, w) for w in (4, 16, 64, 256)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            distinct_in_windows(np.array([1], dtype=np.uint64), 0)
+
+    def test_empty(self):
+        assert distinct_in_windows(np.array([], dtype=np.uint64), 4) == 0.0
+
+
+class TestWorkingSetFunctions:
+    def test_cyclic_scan_saturates_at_footprint(self):
+        trace = cyclic_scan(Region(0, 4096), passes=5, stride=64)
+        ws = dict(working_set_function(trace, windows=[8, 64, 1000]))
+        assert ws[8] == pytest.approx(8.0)
+        assert ws[64] == pytest.approx(64.0)
+        assert ws[1000] == pytest.approx(64.0)  # footprint is 64 lines
+
+    def test_working_set_size_bytes(self):
+        trace = cyclic_scan(Region(0, 4096), passes=3, stride=64)
+        assert working_set_size(trace, window=1000) == 4096
+
+    def test_random_ws_grows_sublinearly(self):
+        trace = uniform_random(
+            Region(0, 64 * 1024), count=8000, granule=64,
+            rng=np.random.default_rng(11),
+        )
+        ws = dict(working_set_function(trace, windows=[64, 512]))
+        # Re-references make distinct count < window length.
+        assert ws[512] < 512
+        assert ws[512] > ws[64]
+
+
+class TestFootprintAtKnee:
+    def test_reads_paper_knee(self):
+        sweep = [(4 * MB, 10.0), (8 * MB, 9.5), (16 * MB, 3.0), (32 * MB, 2.9)]
+        assert footprint_at_knee(sweep) == 16 * MB
+
+    def test_flat_curve(self):
+        sweep = [(4 * MB, 10.0), (8 * MB, 9.9)]
+        assert footprint_at_knee(sweep) is None
+
+    def test_agrees_with_model_knees(self):
+        from repro.core.experiment import SCMP, cache_size_sweep
+        from repro.units import PAPER_CACHE_SWEEP
+        from repro.workloads.profiles import memory_model
+
+        sweep = cache_size_sweep(memory_model("SHOT"), SCMP, PAPER_CACHE_SWEEP)
+        assert footprint_at_knee(sweep) == 32 * MB

@@ -1,0 +1,88 @@
+"""Tests for reuse profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.reuse.histogram import ReuseProfile
+
+
+class TestConstruction:
+    def test_point(self):
+        profile = ReuseProfile.point(100.0, 5.0)
+        assert profile.total_rate == 5.0
+        assert profile.miss_rate(50) == 5.0
+        assert profile.miss_rate(101) == 0.0
+
+    def test_uniform_miss_ratio_is_linear(self):
+        profile = ReuseProfile.uniform(footprint_lines=1000, rate=10.0, points=200)
+        assert profile.miss_ratio(0) == pytest.approx(1.0)
+        assert profile.miss_ratio(500) == pytest.approx(0.5, abs=0.01)
+        assert profile.miss_ratio(1000) == pytest.approx(0.0, abs=0.01)
+
+    def test_uniform_range(self):
+        profile = ReuseProfile.uniform_range(100, 200, rate=4.0)
+        assert profile.miss_rate(50) == pytest.approx(4.0)
+        assert profile.miss_rate(150) == pytest.approx(2.0, rel=0.05)
+        assert profile.miss_rate(250) == 0.0
+
+    def test_streaming_never_hits(self):
+        profile = ReuseProfile.streaming(3.0)
+        assert profile.miss_rate(1e12) == 3.0
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(TraceError):
+            ReuseProfile(np.array([1.0]), np.array([-1.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(TraceError):
+            ReuseProfile(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_from_distances(self):
+        distances = np.array([-1, -1, 5, 5, 10])  # two cold, three warm
+        profile = ReuseProfile.from_distances(distances, instructions=1000)
+        assert profile.total_rate == pytest.approx(5.0)
+        assert profile.miss_rate(6) == pytest.approx(3.0)  # d=10 + 2 cold(inf)
+
+
+class TestAlgebra:
+    def test_combine_adds_rates(self):
+        combined = ReuseProfile.point(10, 1.0).combine(ReuseProfile.point(20, 2.0))
+        assert combined.total_rate == 3.0
+        assert combined.miss_rate(15) == 2.0
+
+    def test_scaled(self):
+        assert ReuseProfile.point(10, 2.0).scaled(0.5).total_rate == 1.0
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(TraceError):
+            ReuseProfile.point(10, 1.0).scaled(-1)
+
+    def test_dilated_scales_distances(self):
+        profile = ReuseProfile.point(100, 1.0).dilated(4, footprint_cap=1000)
+        assert profile.miss_rate(399) == 1.0
+        assert profile.miss_rate(401) == 0.0
+
+    def test_dilated_caps_at_footprint(self):
+        profile = ReuseProfile.point(100, 1.0).dilated(100, footprint_cap=500)
+        assert profile.miss_rate(499) == 1.0
+        assert profile.miss_rate(501) == 0.0
+
+    def test_dilated_preserves_streaming(self):
+        profile = ReuseProfile.streaming(1.0).dilated(4, footprint_cap=10)
+        assert profile.miss_rate(1e15) == 1.0
+
+    def test_footprint_lines(self):
+        profile = ReuseProfile.point(100, 1.0).combine(ReuseProfile.streaming(1.0))
+        assert profile.footprint_lines() == 100.0
+
+
+class TestQueries:
+    def test_miss_ratio_empty(self):
+        assert ReuseProfile.empty().miss_ratio(10) == 0.0
+
+    def test_boundary_distance_counts_as_miss(self):
+        """distance == capacity means the line was just evicted."""
+        profile = ReuseProfile.point(64, 1.0)
+        assert profile.miss_rate(64) == 1.0
+        assert profile.miss_rate(64.001) == 0.0

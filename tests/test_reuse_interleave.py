@@ -1,0 +1,111 @@
+"""Tests for multi-thread reuse composition, validated against exact
+simulation of genuinely interleaved traces."""
+
+import numpy as np
+import pytest
+
+from repro.reuse.histogram import ReuseProfile
+from repro.reuse.interleave import compose_threads, dilate_private
+from repro.reuse.model import exact_miss_count, miss_ratio_at
+from repro.trace.generators import Region, cyclic_scan, uniform_random
+from repro.trace.record import TraceChunk
+from repro.trace.stream import materialize, round_robin_interleave
+
+
+class TestDilatePrivate:
+    def test_single_thread_is_identity(self):
+        profile = ReuseProfile.point(100, 1.0)
+        assert dilate_private(profile, 1) is profile
+
+    def test_distances_scale_with_threads(self):
+        profile = dilate_private(ReuseProfile.point(100, 1.0), 4)
+        assert profile.miss_rate(399) == 1.0
+        assert profile.miss_rate(401) == 0.0
+
+    def test_rejects_bad_threads(self):
+        with pytest.raises(ValueError):
+            dilate_private(ReuseProfile.point(1, 1.0), 0)
+
+
+class TestComposeThreads:
+    def test_shared_part_unchanged(self):
+        shared = ReuseProfile.point(50, 1.0)
+        private = ReuseProfile.point(100, 1.0)
+        composed = compose_threads(shared, private, 8)
+        # Shared reuse still hits at capacity 51+.
+        assert composed.miss_rate(51) == 1.0  # only private part misses
+        assert composed.miss_rate(801) == 0.0
+
+
+class TestDilationMatchesExactInterleaving:
+    """The composition rule versus real interleaved-trace simulation."""
+
+    def test_private_cyclic_scans(self):
+        """T interleaved private scans behave like one T-times-bigger scan."""
+        threads = 4
+        region_lines = 64
+        passes = 6
+        streams = [
+            [
+                cyclic_scan(
+                    Region(0x100000 * (1 + t), region_lines * 64),
+                    passes=passes,
+                    stride=64,
+                )
+            ]
+            for t in range(threads)
+        ]
+        trace = materialize(round_robin_interleave(streams, quantum=16))
+        single = ReuseProfile.point(region_lines, 1.0)
+        composed = dilate_private(single, threads)
+        # Below the composed footprint: everything misses (steady state).
+        small = exact_miss_count(trace, (region_lines * threads - 16) * 64)
+        assert composed.miss_ratio((region_lines * threads - 16)) == 1.0
+        assert small / len(trace) > 0.95
+        # Above it: only cold misses.
+        big = exact_miss_count(trace, (region_lines * threads + 16) * 64)
+        assert composed.miss_ratio(region_lines * threads + 16) == 0.0
+        assert big == region_lines * threads
+
+    def test_private_random_regions(self):
+        """Interleaved uniform-random threads = uniform over T x W."""
+        threads = 4
+        region_lines = 128
+        rng = np.random.default_rng(41)
+        streams = [
+            [
+                uniform_random(
+                    Region(0x100000 * (1 + t), region_lines * 64),
+                    count=20000,
+                    granule=64,
+                    rng=rng,
+                )
+            ]
+            for t in range(threads)
+        ]
+        trace = materialize(round_robin_interleave(streams, quantum=8))
+        composed = dilate_private(
+            ReuseProfile.uniform(region_lines, 1.0, points=256), threads
+        )
+        for capacity in (128, 256, 384):
+            predicted = composed.miss_ratio(capacity)
+            observed = exact_miss_count(trace, capacity * 64) / len(trace)
+            assert abs(predicted - observed) < 0.05
+
+    def test_shared_region_invariance(self):
+        """Threads referencing the same region: miss ratio tracks the
+        single-thread profile, independent of thread count."""
+        region_lines = 128
+        rng = np.random.default_rng(43)
+        make = lambda: uniform_random(
+            Region(0x100000, region_lines * 64), count=8000, granule=64,
+            rng=np.random.default_rng(rng.integers(1 << 30)),
+        )
+        for threads in (2, 8):
+            streams = [[make()] for _ in range(threads)]
+            trace = materialize(round_robin_interleave(streams, quantum=8))
+            profile = ReuseProfile.uniform(region_lines, 1.0, points=256)
+            for capacity in (32, 64, 96):
+                predicted = profile.miss_ratio(capacity)
+                observed = exact_miss_count(trace, capacity * 64) / len(trace)
+                assert abs(predicted - observed) < 0.05

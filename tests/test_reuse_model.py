@@ -1,0 +1,91 @@
+"""Model-versus-exact validation: the methodology's load-bearing tests.
+
+The paper-scale results come from the analytic reuse models; these tests
+establish that at simulatable scale the models agree with exact cache
+simulation — the software analog of validating a performance model
+against RTL before trusting its projections.
+"""
+
+import numpy as np
+import pytest
+
+from repro.reuse.histogram import ReuseProfile
+from repro.reuse.model import (
+    empirical_profile,
+    exact_miss_count,
+    miss_ratio_at,
+    mpki_at,
+    mpki_curve,
+    predicted_misses,
+    relative_error,
+    stack_distance_miss_count,
+)
+from repro.trace.generators import Region, cyclic_scan, uniform_random
+from repro.trace.record import TraceChunk
+from repro.units import KB
+
+
+class TestStackDistanceIdentity:
+    def test_identity_on_mixed_trace(self, mixed_trace):
+        for cache_size in (4 * KB, 16 * KB, 64 * KB):
+            assert stack_distance_miss_count(
+                mixed_trace, cache_size
+            ) == exact_miss_count(mixed_trace, cache_size)
+
+
+class TestAnalyticVsExact:
+    def test_cyclic_component_model_matches_simulation(self):
+        """point(W) predicts a cyclic scan's misses exactly (steady state)."""
+        region_lines = 256
+        passes = 8
+        trace = cyclic_scan(Region(0, region_lines * 64), passes=passes, stride=64)
+        instructions = len(trace)
+        profile = ReuseProfile.point(region_lines, 1000.0)  # all accesses
+        for capacity_lines in (64, 128, 255):
+            predicted = predicted_misses(profile, capacity_lines * 64, 64, instructions)
+            observed = exact_miss_count(trace, capacity_lines * 64)
+            # Model has no cold-start term; allow one pass worth of slack.
+            assert abs(predicted - observed) <= region_lines
+        # Above the working set only cold misses remain.
+        assert exact_miss_count(trace, 257 * 64) == region_lines
+
+    def test_uniform_component_model_matches_simulation(self):
+        """uniform(W) predicts uniform-random misses within a few percent."""
+        region_lines = 512
+        trace = uniform_random(
+            Region(0, region_lines * 64),
+            count=60000,
+            granule=64,
+            rng=np.random.default_rng(31),
+        )
+        profile = ReuseProfile.uniform(region_lines, 1000.0, points=256)
+        for capacity_lines in (64, 128, 256, 384):
+            predicted_ratio = miss_ratio_at(profile, capacity_lines * 64, 64)
+            observed_ratio = exact_miss_count(trace, capacity_lines * 64) / len(trace)
+            assert relative_error(predicted_ratio, observed_ratio) < 0.08
+
+    def test_empirical_profile_reproduces_exact_misses(self, mixed_trace):
+        """A measured profile replays the trace's own miss curve exactly
+        (modulo cold counting, which from_distances folds into inf)."""
+        instructions = len(mixed_trace) * 2
+        profile = empirical_profile(mixed_trace, instructions)
+        for cache_size in (8 * KB, 32 * KB, 128 * KB):
+            predicted = predicted_misses(profile, cache_size, 64, instructions)
+            observed = exact_miss_count(mixed_trace, cache_size)
+            assert predicted == pytest.approx(observed, rel=1e-9)
+
+
+class TestCurveHelpers:
+    def test_mpki_curve_shape(self):
+        profile = ReuseProfile.point(1024, 5.0)
+        curve = mpki_curve(profile, [32 * KB, 64 * KB, 128 * KB], line_size=64)
+        assert [m for _, m in curve] == [5.0, 5.0, 0.0]
+
+    def test_mpki_at_units(self):
+        profile = ReuseProfile.point(100, 7.0)
+        assert mpki_at(profile, 64 * 99, 64) == 7.0
+        assert mpki_at(profile, 64 * 101, 64) == 0.0
+
+    def test_relative_error(self):
+        assert relative_error(11, 10) == pytest.approx(0.1)
+        assert relative_error(0, 0) == 0.0

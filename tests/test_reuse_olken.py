@@ -1,0 +1,93 @@
+"""Tests for exact stack-distance computation."""
+
+import numpy as np
+
+from repro.cache.cache import FullyAssociativeLRU
+from repro.reuse.olken import COLD, miss_count, miss_curve, stack_distances
+from repro.trace.generators import Region, cyclic_scan, uniform_random, zipf_random
+from repro.trace.record import TraceChunk
+
+
+def naive_stack_distances(lines: list[int]) -> list[int]:
+    """Brute-force reference: distinct lines since the previous touch."""
+    result = []
+    for t, line in enumerate(lines):
+        previous = None
+        for s in range(t - 1, -1, -1):
+            if lines[s] == line:
+                previous = s
+                break
+        if previous is None:
+            result.append(COLD)
+        else:
+            result.append(len(set(lines[previous + 1 : t])))
+    return result
+
+
+class TestStackDistances:
+    def test_simple_sequence(self):
+        # lines: a b a c b a
+        chunk = TraceChunk([0, 64, 0, 128, 64, 0])
+        distances = list(stack_distances(chunk, 64))
+        assert distances == [COLD, COLD, 1, COLD, 2, 2]
+
+    def test_matches_naive_on_random(self):
+        chunk = uniform_random(
+            Region(0, 2048), count=300, rng=np.random.default_rng(3)
+        )
+        lines = [int(l) for l in chunk.lines(64)]
+        assert list(stack_distances(chunk, 64)) == naive_stack_distances(lines)
+
+    def test_matches_naive_on_zipf(self):
+        chunk = zipf_random(
+            Region(0, 8192), count=400, granule=64, rng=np.random.default_rng(9)
+        )
+        lines = [int(l) for l in chunk.lines(64)]
+        assert list(stack_distances(chunk, 64)) == naive_stack_distances(lines)
+
+    def test_cyclic_scan_distance_is_footprint(self):
+        chunk = cyclic_scan(Region(0, 4096), passes=3, stride=64)
+        distances = stack_distances(chunk, 64)
+        footprint = 4096 // 64
+        warm = distances[footprint:]
+        assert set(warm.tolist()) == {footprint - 1}
+
+    def test_empty(self):
+        assert len(stack_distances(TraceChunk.empty())) == 0
+
+
+class TestMissEquivalence:
+    """THE core identity: stack distance >= C  <=>  LRU miss at capacity C."""
+
+    def test_equivalence_across_capacities(self):
+        chunk = uniform_random(
+            Region(0, 64 * 1024), count=5000, rng=np.random.default_rng(21)
+        )
+        distances = stack_distances(chunk, 64)
+        for capacity in (16, 64, 256, 1024):
+            cache = FullyAssociativeLRU(capacity_lines=capacity)
+            cache.access_chunk(chunk)
+            assert miss_count(distances, capacity) == cache.stats.misses
+
+    def test_equivalence_on_scans(self):
+        chunk = cyclic_scan(Region(0, 16 * 1024), passes=4, stride=32)
+        distances = stack_distances(chunk, 64)
+        for capacity in (128, 255, 256, 257, 512):
+            cache = FullyAssociativeLRU(capacity_lines=capacity)
+            cache.access_chunk(chunk)
+            assert miss_count(distances, capacity) == cache.stats.misses
+
+    def test_miss_curve_monotone(self):
+        chunk = uniform_random(
+            Region(0, 32 * 1024), count=3000, rng=np.random.default_rng(5)
+        )
+        distances = stack_distances(chunk, 64)
+        curve = miss_curve(distances, [8, 16, 32, 64, 128, 256])
+        misses = [m for _, m in curve]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_cold_counting_toggle(self):
+        chunk = TraceChunk([0, 64, 0])
+        distances = stack_distances(chunk, 64)
+        assert miss_count(distances, 8, count_cold=True) == 2
+        assert miss_count(distances, 8, count_cold=False) == 0

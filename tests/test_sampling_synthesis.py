@@ -1,0 +1,127 @@
+"""Tests for SHARDS-style sampling and stack-model trace synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceError
+from repro.reuse.histogram import ReuseProfile
+from repro.reuse.model import empirical_profile, exact_miss_count
+from repro.reuse.sampling import sampled_lines_mask, sampled_mpki, sampled_profile
+from repro.trace.generators import Region, cyclic_scan, uniform_random, zipf_random
+from repro.trace.record import TraceChunk
+from repro.trace.synthesis import resynthesize, synthesize_trace
+from repro.units import KB
+
+
+class TestSampledLinesMask:
+    def test_spatial_consistency(self):
+        """Every access to one line shares its sampling fate."""
+        lines = np.array([5, 7, 5, 9, 7, 5], dtype=np.uint64)
+        mask = sampled_lines_mask(lines, 0.5)
+        by_line = {}
+        for line, sampled in zip(lines, mask):
+            assert by_line.setdefault(int(line), bool(sampled)) == bool(sampled)
+
+    def test_rate_controls_fraction(self):
+        lines = np.arange(100_000, dtype=np.uint64)
+        for rate in (0.05, 0.25, 0.75):
+            fraction = sampled_lines_mask(lines, rate).mean()
+            assert fraction == pytest.approx(rate, abs=0.02)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            sampled_lines_mask(np.array([1], dtype=np.uint64), 0.0)
+
+
+class TestSampledProfile:
+    def test_rate_one_equals_exact(self):
+        chunk = uniform_random(
+            Region(0, 64 * KB), count=5000, granule=64, rng=np.random.default_rng(3)
+        )
+        instructions = 2 * len(chunk)
+        exact = empirical_profile(chunk, instructions)
+        sampled = sampled_profile(chunk, instructions, rate=1.0)
+        for capacity in (64, 256, 512):
+            assert sampled.miss_rate(capacity) == pytest.approx(
+                exact.miss_rate(capacity), rel=1e-9
+            )
+
+    @pytest.mark.parametrize("rate", [0.1, 0.3])
+    def test_estimates_miss_curve(self, rate):
+        chunk = uniform_random(
+            Region(0, 256 * KB), count=30000, granule=64, rng=np.random.default_rng(7)
+        )
+        instructions = 2 * len(chunk)
+        for cache_size in (32 * KB, 64 * KB, 128 * KB):
+            exact = (
+                exact_miss_count(chunk, cache_size) / instructions * 1000
+            )
+            estimate = sampled_mpki(chunk, instructions, cache_size, rate=rate)
+            assert estimate == pytest.approx(exact, rel=0.15)
+
+    def test_works_on_skewed_traffic(self):
+        chunk = zipf_random(
+            Region(0, 256 * KB), count=30000, alpha=1.2, granule=64,
+            rng=np.random.default_rng(9),
+        )
+        instructions = len(chunk)
+        exact = exact_miss_count(chunk, 32 * KB) / instructions * 1000
+        estimate = sampled_mpki(chunk, instructions, 32 * KB, rate=0.2)
+        assert estimate == pytest.approx(exact, rel=0.25)
+
+    def test_empty_sample(self):
+        chunk = TraceChunk([0])
+        profile = sampled_profile(chunk, 10, rate=1e-7)
+        # With a vanishing rate the single line is almost surely skipped.
+        assert profile.total_rate in (0.0, pytest.approx(1e8 * 100, rel=1))
+
+
+class TestSynthesis:
+    def test_point_profile_yields_cyclic_behaviour(self):
+        """A pure point(W) profile synthesizes a trace that thrashes
+        below W lines and hits above."""
+        profile = ReuseProfile.point(64, 10.0)
+        trace = synthesize_trace(profile, accesses=4000, seed=1)
+        small = exact_miss_count(trace, 48 * 64)
+        large = exact_miss_count(trace, 80 * 64)
+        assert small > 0.9 * len(trace)
+        assert large <= 65  # cold misses only
+
+    def test_streaming_profile_never_reuses(self):
+        profile = ReuseProfile.streaming(1.0)
+        trace = synthesize_trace(profile, accesses=1000)
+        assert len(np.unique(trace.addresses)) == 1000
+
+    def test_round_trip_preserves_miss_curve(self):
+        """profile -> trace -> profile is a fixed point (within noise)."""
+        original = ReuseProfile.uniform(256, 5.0, points=64).combine(
+            ReuseProfile.streaming(1.0)
+        )
+        trace = synthesize_trace(original, accesses=30000, seed=3)
+        measured = empirical_profile(trace, instructions=int(30000 / 6 * 1000))
+        for capacity in (64, 128, 192):
+            assert measured.miss_ratio(capacity) == pytest.approx(
+                original.miss_ratio(capacity), abs=0.06
+            )
+
+    def test_resynthesize_matches_source_behaviour(self):
+        source = cyclic_scan(Region(0, 16 * KB), passes=6, stride=64)
+        stretched = resynthesize(source, accesses=3 * len(source), seed=5)
+        assert len(stretched) == 3 * len(source)
+        # Same working-set knee: thrash below 256 lines; above the knee
+        # the miss ratio tracks the source's own cold fraction (1/6).
+        below = exact_miss_count(stretched, 128 * 64) / len(stretched)
+        above = exact_miss_count(stretched, 512 * 64) / len(stretched)
+        source_above = exact_miss_count(source, 512 * 64) / len(source)
+        assert below > 0.8
+        assert above == pytest.approx(source_above, abs=0.08)
+
+    def test_rejects_empty_profile(self):
+        with pytest.raises(TraceError):
+            synthesize_trace(ReuseProfile.empty(), 10)
+
+    def test_deterministic_by_seed(self):
+        profile = ReuseProfile.uniform(128, 1.0)
+        a = synthesize_trace(profile, 500, seed=9)
+        b = synthesize_trace(profile, 500, seed=9)
+        assert np.array_equal(a.addresses, b.addresses)

@@ -1,0 +1,133 @@
+"""Tests for the sector cache, line-traffic study, and sharing study."""
+
+import numpy as np
+import pytest
+
+from repro.cache.sector import SectorCache, SectorCacheConfig, monolithic_line_traffic
+from repro.errors import ConfigurationError
+from repro.harness import linesize_traffic, sharing_study
+from repro.trace.generators import Region, cyclic_scan, sequential_scan, uniform_random
+from repro.units import KB, PAPER_LINE_SWEEP
+
+
+def small_sector(**overrides) -> SectorCache:
+    defaults = dict(size=64 * KB, sector_size=1024, subblock_size=64, associativity=8)
+    defaults.update(overrides)
+    return SectorCache(SectorCacheConfig(**defaults))
+
+
+class TestSectorCacheConfig:
+    def test_rejects_subblock_bigger_than_sector(self):
+        with pytest.raises(ConfigurationError):
+            SectorCacheConfig(size=64 * KB, sector_size=128, subblock_size=256)
+
+    def test_subblocks_per_sector(self):
+        config = SectorCacheConfig(size=64 * KB, sector_size=1024, subblock_size=64)
+        assert config.subblocks_per_sector == 16
+
+
+class TestSectorCacheBehaviour:
+    def test_first_touch_is_sector_miss(self):
+        cache = small_sector()
+        assert not cache.access(0x0)
+        assert cache.stats.sector_misses == 1
+
+    def test_same_subblock_hits(self):
+        cache = small_sector()
+        cache.access(0x0)
+        assert cache.access(0x20)  # same 64B sub-block
+        assert cache.stats.hits == 1
+
+    def test_neighbour_subblock_is_subblock_miss(self):
+        cache = small_sector()
+        cache.access(0x0)
+        assert not cache.access(0x40)  # same sector, next sub-block
+        assert cache.stats.subblock_misses == 1
+        assert cache.stats.sector_misses == 1
+
+    def test_traffic_is_demand_only(self):
+        """The whole point: bytes moved = sub-blocks touched.  A sparse
+        scan (stride 256 within 1KB sectors) pays 64B per touch where a
+        monolithic 1KB-line cache hauls whole kilobytes."""
+        cache = small_sector()
+        trace = sequential_scan(Region(0, 32 * KB), count=128, stride=256)
+        cache.access_chunk(trace)
+        assert cache.stats.bytes_transferred == 128 * 64
+        assert cache.stats.sector_misses == 32  # one tag per 1KB sector
+        monolithic = monolithic_line_traffic(cache.stats.sector_misses, 1024)
+        assert monolithic == 32 * KB
+        assert cache.stats.bytes_transferred < monolithic / 3
+
+    def test_sector_tags_capture_spatial_locality(self):
+        """A strided scan allocates far fewer sectors than sub-blocks."""
+        cache = small_sector()
+        trace = cyclic_scan(Region(0, 32 * KB), passes=2, stride=64)
+        cache.access_chunk(trace)
+        assert cache.stats.sector_misses <= 32 + 1
+        # Second pass hits everything (32KB fits in 64KB).
+        assert cache.stats.hits >= len(trace) // 2
+
+    def test_eviction_invalidates_subblocks(self):
+        """Re-touching an evicted sector must not claim stale sub-blocks."""
+        cache = small_sector(size=2 * KB, sector_size=1024, associativity=1)
+        # Two sectors mapping to the same set thrash each other.
+        first, second = 0x0, 2 * KB
+        cache.access(first)
+        cache.access(second)
+        cache.access(first)  # must be a sector miss again, not a hit
+        assert cache.stats.hits == 0
+        assert cache.stats.sector_misses == 3
+
+    def test_random_traffic_consistency(self):
+        cache = small_sector()
+        trace = uniform_random(
+            Region(0, 256 * KB), count=5000, granule=64, rng=np.random.default_rng(3)
+        )
+        stats = cache.access_chunk(trace)
+        assert stats.hits + stats.misses == stats.accesses
+        assert stats.bytes_transferred == stats.misses * 64
+
+
+class TestLineTrafficStudy:
+    def test_rows_cover_sweep(self):
+        rows = linesize_traffic.generate()
+        assert len(rows) == 8 * len(PAPER_LINE_SWEEP)
+
+    def test_traffic_never_decreases_past_256(self):
+        """MPKI gains beyond 256B cannot outpace the linear byte cost."""
+        rows = linesize_traffic.generate()
+        for name in ("MDS", "FIMI", "RSEARCH", "PLSA", "VIEWTYPE"):
+            series = {
+                r.line_size: r.traffic_bytes_per_kiloinst
+                for r in rows
+                if r.workload == name
+            }
+            assert series[512] >= series[256] - 1e-9
+
+    def test_platform_pick_is_paper_sweet_spot(self):
+        rows = linesize_traffic.generate()
+        assert linesize_traffic.platform_line_size(rows) == 256
+
+    def test_main_prints(self, capsys):
+        linesize_traffic.main()
+        output = capsys.readouterr().out
+        assert "256B" in output
+
+
+class TestSharingStudy:
+    def test_taxonomy_measured_from_kernels(self):
+        rows = sharing_study.generate(
+            threads=2, workloads=("SNP", "FIMI", "SHOT", "VIEWTYPE")
+        )
+        by_name = {r.workload: r for r in rows}
+        # Category A/B: the primary structure is shared.
+        assert by_name["SNP"].shared_line_fraction > 0.5
+        assert by_name["FIMI"].shared_line_fraction > 0.5
+        # Category C: disjoint private footprints.
+        assert by_name["SHOT"].shared_line_fraction == 0.0
+        assert by_name["VIEWTYPE"].shared_line_fraction == 0.0
+
+    def test_main_prints(self, capsys):
+        sharing_study.main()
+        output = capsys.readouterr().out
+        assert "sharing behaviour" in output

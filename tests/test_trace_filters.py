@@ -1,0 +1,144 @@
+"""Tests for trace filters (L1 filtering, address windows)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import CacheConfig, FullyAssociativeLRU
+from repro.trace.filters import address_window, l1_filter, reads_only
+from repro.trace.generators import Region, cyclic_scan, uniform_random
+from repro.trace.record import AccessKind, TraceChunk
+from repro.units import KB
+
+
+class TestL1Filter:
+    def test_hot_reuse_removed(self):
+        """A loop over a tiny buffer reaches the bus once per line."""
+        trace = cyclic_scan(Region(0, 2 * KB), passes=10, stride=64)
+        filtered = l1_filter(trace)
+        assert len(filtered) == 32  # 32 cold lines, 9 further passes all hit
+
+    def test_streaming_passes_through(self):
+        trace = cyclic_scan(Region(0, 1 << 20), passes=1, stride=64)
+        config = CacheConfig(size=8 * KB, line_size=64, associativity=8)
+        filtered = l1_filter(trace, config)
+        assert len(filtered) == len(trace)  # nothing ever re-hits
+
+    def test_writes_always_on_bus(self):
+        """Write-through: every write reaches the bus, hot or not."""
+        addresses = [0x100] * 10
+        trace = TraceChunk(addresses, kinds=[1] * 10)
+        filtered = l1_filter(trace)
+        assert len(filtered) == 10
+
+    def test_per_core_filters_are_private(self):
+        # Two cores touching the same line: each suffers its own cold miss.
+        trace = TraceChunk([0x100, 0x100, 0x100, 0x100], cores=[0, 1, 0, 1])
+        filtered = l1_filter(trace)
+        assert len(filtered) == 2
+        assert sorted(filtered.cores.tolist()) == [0, 1]
+
+    def test_llc_misses_nearly_invariant_under_filtering(self):
+        """Filtering removes only would-be hits, so downstream misses
+        change by at most the 'filtered LRU' recency residual — a
+        fraction of a percent here."""
+        rng = np.random.default_rng(51)
+        trace = uniform_random(Region(0, 256 * KB), count=20000, granule=64, rng=rng)
+        filtered = l1_filter(trace, CacheConfig.fully_associative(4 * KB))
+        assert len(filtered) < len(trace)
+        for capacity_lines in (256, 1024, 4096):
+            raw_cache = FullyAssociativeLRU(capacity_lines)
+            raw_cache.access_chunk(trace)
+            filtered_cache = FullyAssociativeLRU(capacity_lines)
+            filtered_cache.access_chunk(filtered)
+            assert filtered_cache.stats.misses == pytest.approx(
+                raw_cache.stats.misses, rel=0.005
+            )
+
+    def test_cyclic_scan_filtering_exactly_invariant(self):
+        """For scans the residual vanishes: the filtered trace carries
+        exactly the cold/capacity line stream."""
+        trace = cyclic_scan(Region(0, 64 * KB), passes=4, stride=16)
+        filtered = l1_filter(trace, CacheConfig.fully_associative(4 * KB))
+        for capacity_lines in (256, 2048):
+            raw_cache = FullyAssociativeLRU(capacity_lines)
+            raw_cache.access_chunk(trace)
+            filtered_cache = FullyAssociativeLRU(capacity_lines)
+            filtered_cache.access_chunk(filtered)
+            assert filtered_cache.stats.misses == raw_cache.stats.misses
+
+    def test_kernel_trace_volume_reduction(self):
+        from repro.workloads import get_workload
+
+        run = get_workload("SVM-RFE").run_kernel()
+        filtered = l1_filter(run.trace)
+        # The hot training loop is L1-resident: most traffic disappears.
+        assert len(filtered) < 0.5 * len(run.trace)
+
+
+class TestAddressWindow:
+    def test_window_selects_range(self):
+        trace = TraceChunk([0x100, 0x200, 0x300])
+        window = address_window(trace, 0x150, 0x250)
+        assert list(window.addresses) == [0x200]
+
+    def test_reads_only(self):
+        trace = TraceChunk([1, 2, 3], kinds=[0, 1, 0])
+        assert len(reads_only(trace)) == 2
+
+
+class TestVictimCache:
+    def make(self, assoc=1, sets=4, victim_lines=4):
+        from repro.cache.victim import VictimCachedHierarchy
+
+        config = CacheConfig(
+            size=64 * assoc * sets, line_size=64, associativity=assoc
+        )
+        return VictimCachedHierarchy(config, victim_lines=victim_lines)
+
+    def test_conflict_misses_rescued(self):
+        """Two lines thrashing one direct-mapped set both live in the
+        victim buffer after warm-up."""
+        hierarchy = self.make(assoc=1, sets=4, victim_lines=4)
+        a = 0x0  # set 0
+        b = 4 * 64  # also set 0
+        hierarchy.access(a)
+        hierarchy.access(b)  # evicts a into the victim buffer
+        assert hierarchy.access(a)  # victim hit
+        assert hierarchy.access(b)  # victim hit
+        assert hierarchy.stats.victim_hits == 2
+
+    def test_capacity_misses_not_rescued(self):
+        """A scan much bigger than primary+victim still thrashes."""
+        hierarchy = self.make(assoc=1, sets=4, victim_lines=2)
+        trace = cyclic_scan(Region(0, 8 * KB), passes=3, stride=64)
+        hierarchy.access_chunk(trace)
+        assert hierarchy.stats.hit_ratio < 0.1
+
+    def test_stats_consistent(self):
+        hierarchy = self.make()
+        trace = uniform_random(
+            Region(0, 4 * KB), count=2000, granule=64, rng=np.random.default_rng(3)
+        )
+        hierarchy.access_chunk(trace)
+        stats = hierarchy.primary.stats
+        assert stats.hits + stats.misses == stats.accesses
+
+    def test_victim_cache_never_hurts(self):
+        """Miss count with the victim buffer <= without it."""
+        from repro.cache.cache import SetAssociativeCache
+
+        rng = np.random.default_rng(9)
+        trace = uniform_random(Region(0, 8 * KB), count=5000, granule=64, rng=rng)
+        config = CacheConfig(size=2 * KB, line_size=64, associativity=1)
+        plain = SetAssociativeCache(config)
+        plain.access_chunk(trace)
+        victim = self.make(assoc=1, sets=32, victim_lines=8)
+        victim.access_chunk(trace)
+        assert victim.misses <= plain.stats.misses
+
+    def test_rejects_bad_config(self):
+        from repro.cache.victim import VictimCachedHierarchy
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            VictimCachedHierarchy(CacheConfig(size=1 * KB, associativity=4), victim_lines=0)

@@ -1,0 +1,137 @@
+"""Tests for synthetic access-pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.generators import (
+    Region,
+    cyclic_scan,
+    interleave_mix,
+    pointer_chase,
+    sequential_scan,
+    uniform_random,
+    zipf_random,
+)
+
+
+class TestRegion:
+    def test_end(self):
+        assert Region(100, 50).end == 150
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(TraceError):
+            Region(0, 0)
+
+    def test_rejects_negative_base(self):
+        with pytest.raises(TraceError):
+            Region(-1, 10)
+
+
+class TestSequentialScan:
+    def test_addresses_are_strided(self):
+        chunk = sequential_scan(Region(0, 1024), count=10, stride=8)
+        assert list(chunk.addresses) == [i * 8 for i in range(10)]
+
+    def test_wraps_at_region_end(self):
+        chunk = sequential_scan(Region(0, 32), count=6, stride=8)
+        assert list(chunk.addresses) == [0, 8, 16, 24, 0, 8]
+
+    def test_stays_in_region(self):
+        region = Region(0x1000, 256)
+        chunk = sequential_scan(region, count=1000, stride=8)
+        assert chunk.addresses.min() >= region.base
+        assert chunk.addresses.max() < region.end
+
+    def test_backward(self):
+        chunk = sequential_scan(Region(0, 64), count=3, stride=8, backward=True)
+        deltas = np.diff(chunk.addresses.astype(np.int64))
+        assert all(d == -8 for d in deltas)
+
+    def test_write_fraction(self):
+        rng = np.random.default_rng(0)
+        chunk = sequential_scan(
+            Region(0, 4096), count=2000, write_fraction=0.5, rng=rng
+        )
+        assert 0.4 < chunk.write_count() / len(chunk) < 0.6
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(TraceError):
+            sequential_scan(Region(0, 64), count=1, stride=0)
+
+
+class TestCyclicScan:
+    def test_full_passes(self):
+        chunk = cyclic_scan(Region(0, 64), passes=3, stride=8)
+        assert len(chunk) == 24
+        # Every address appears exactly `passes` times.
+        _, counts = np.unique(chunk.addresses, return_counts=True)
+        assert set(counts) == {3}
+
+    def test_rejects_zero_passes(self):
+        with pytest.raises(TraceError):
+            cyclic_scan(Region(0, 64), passes=0)
+
+
+class TestUniformRandom:
+    def test_in_region_and_aligned(self):
+        region = Region(0x4000, 4096)
+        chunk = uniform_random(region, count=5000, granule=8)
+        assert chunk.addresses.min() >= region.base
+        assert chunk.addresses.max() < region.end
+        assert all(a % 8 == 0 for a in chunk.addresses[:50])
+
+    def test_covers_region(self):
+        chunk = uniform_random(Region(0, 1024), count=20000, granule=64)
+        assert len(np.unique(chunk.lines(64))) == 16
+
+    def test_deterministic_with_seed(self):
+        a = uniform_random(Region(0, 1024), 100, rng=np.random.default_rng(5))
+        b = uniform_random(Region(0, 1024), 100, rng=np.random.default_rng(5))
+        assert np.array_equal(a.addresses, b.addresses)
+
+
+class TestZipfRandom:
+    def test_skewed_popularity(self):
+        chunk = zipf_random(Region(0, 64 * 1024), count=20000, alpha=1.4, granule=64)
+        _, counts = np.unique(chunk.addresses, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        # Top address is much hotter than the median one.
+        assert counts[0] > 10 * np.median(counts)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(TraceError):
+            zipf_random(Region(0, 1024), 10, alpha=0)
+
+
+class TestPointerChase:
+    def test_visits_all_nodes(self):
+        chunk = pointer_chase(Region(0, 64 * 16), count=16, node_size=64)
+        assert len(np.unique(chunk.addresses)) == 16
+
+    def test_no_spatial_locality(self):
+        chunk = pointer_chase(Region(0, 64 * 256), count=256, node_size=64)
+        deltas = np.abs(np.diff(chunk.addresses.astype(np.int64)))
+        assert np.median(deltas) > 64  # successive nodes mostly far apart
+
+
+class TestInterleaveMix:
+    def test_total_count(self):
+        a = sequential_scan(Region(0, 1024), 100, stride=8)
+        b = uniform_random(Region(0x10000, 1024), 100)
+        mixed = interleave_mix([a, b], [0.5, 0.5], count=500)
+        assert len(mixed) == 500
+
+    def test_weights_respected(self):
+        a = sequential_scan(Region(0, 1024), 100, stride=8)
+        b = uniform_random(Region(0x100000, 1024), 100)
+        mixed = interleave_mix([a, b], [0.9, 0.1], count=4000)
+        from_a = int((mixed.addresses < 0x100000).sum())
+        assert 0.85 < from_a / 4000 < 0.95
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(TraceError):
+            interleave_mix([sequential_scan(Region(0, 64), 8)], [0.5, 0.5], 10)
+
+    def test_empty_inputs(self):
+        assert len(interleave_mix([], [], 10)) == 0

@@ -1,0 +1,65 @@
+"""Tests for trace serialization."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.io import load_trace, save_trace
+from repro.trace.record import TraceChunk
+
+
+class TestRoundTrip:
+    def test_all_columns_preserved(self, tmp_path):
+        chunk = TraceChunk(
+            [1, 2, 3], kinds=[0, 1, 0], cores=[4, 5, 6], pcs=[7, 8, 9]
+        )
+        path = tmp_path / "trace.npz"
+        save_trace(chunk, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.addresses, chunk.addresses)
+        assert np.array_equal(loaded.kinds, chunk.kinds)
+        assert np.array_equal(loaded.cores, chunk.cores)
+        assert np.array_equal(loaded.pcs, chunk.pcs)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_trace(TraceChunk.empty(), path)
+        assert len(load_trace(path)) == 0
+
+    def test_kernel_trace_round_trip(self, tmp_path):
+        from repro.workloads import get_workload
+
+        run = get_workload("PLSA").run_kernel()
+        path = tmp_path / "plsa.npz"
+        save_trace(run.trace, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.addresses, run.trace.addresses)
+
+    def test_file_object(self):
+        buffer = io.BytesIO()
+        save_trace(TraceChunk([1, 2]), buffer)
+        buffer.seek(0)
+        assert len(load_trace(buffer)) == 2
+
+
+class TestErrors:
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "wrong.npz"
+        np.savez(
+            path,
+            format=np.array("repro-trace-v99"),
+            addresses=np.zeros(1, dtype=np.uint64),
+            kinds=np.zeros(1, dtype=np.uint8),
+            cores=np.zeros(1, dtype=np.uint16),
+            pcs=np.zeros(1, dtype=np.uint64),
+        )
+        with pytest.raises(TraceError):
+            load_trace(path)

@@ -1,0 +1,99 @@
+"""Tests for trace record types."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.record import AccessKind, MemoryAccess, TraceChunk
+
+
+class TestMemoryAccess:
+    def test_defaults(self):
+        access = MemoryAccess(address=0x1000)
+        assert access.kind is AccessKind.READ
+        assert access.core == 0
+        assert access.size == 8
+
+    def test_line(self):
+        assert MemoryAccess(address=130).line(64) == 2
+
+    def test_kind_is_read(self):
+        assert AccessKind.READ.is_read
+        assert not AccessKind.WRITE.is_read
+
+
+class TestTraceChunkConstruction:
+    def test_from_lists(self):
+        chunk = TraceChunk([1, 2, 3])
+        assert len(chunk) == 3
+        assert chunk.addresses.dtype == np.uint64
+
+    def test_scalar_core_broadcast(self):
+        chunk = TraceChunk([1, 2], cores=5)
+        assert list(chunk.cores) == [5, 5]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TraceError):
+            TraceChunk([1, 2, 3], kinds=[0, 1])
+
+    def test_from_accesses_round_trip(self):
+        accesses = [
+            MemoryAccess(0x100, AccessKind.READ, core=1, pc=7),
+            MemoryAccess(0x200, AccessKind.WRITE, core=2, pc=9),
+        ]
+        chunk = TraceChunk.from_accesses(accesses)
+        back = list(chunk)
+        assert [a.address for a in back] == [0x100, 0x200]
+        assert back[1].kind is AccessKind.WRITE
+        assert back[0].core == 1
+        assert back[1].pc == 9
+
+    def test_empty(self):
+        assert len(TraceChunk.empty()) == 0
+
+
+class TestTraceChunkOperations:
+    def test_lines_power_of_two(self):
+        chunk = TraceChunk([0, 63, 64, 127, 128])
+        assert list(chunk.lines(64)) == [0, 0, 1, 1, 2]
+
+    def test_lines_large_line_size(self):
+        chunk = TraceChunk([0, 4095, 4096])
+        assert list(chunk.lines(4096)) == [0, 0, 1]
+
+    def test_lines_rejects_nonpositive(self):
+        with pytest.raises(TraceError):
+            TraceChunk([1]).lines(0)
+
+    def test_slice(self):
+        chunk = TraceChunk(list(range(10)))
+        part = chunk[2:5]
+        assert list(part.addresses) == [2, 3, 4]
+
+    def test_non_slice_index_rejected(self):
+        with pytest.raises(TypeError):
+            TraceChunk([1, 2])[0]
+
+    def test_with_core(self):
+        chunk = TraceChunk([1, 2], cores=0)
+        retagged = chunk.with_core(7)
+        assert set(retagged.cores) == {7}
+        assert set(chunk.cores) == {0}  # original untouched
+
+    def test_read_write_counts(self):
+        chunk = TraceChunk([1, 2, 3], kinds=[0, 1, 0])
+        assert chunk.read_count() == 2
+        assert chunk.write_count() == 1
+
+    def test_concatenate_preserves_order(self):
+        a = TraceChunk([1, 2])
+        b = TraceChunk([3])
+        merged = TraceChunk.concatenate([a, b])
+        assert list(merged.addresses) == [1, 2, 3]
+
+    def test_concatenate_skips_empty(self):
+        merged = TraceChunk.concatenate([TraceChunk.empty(), TraceChunk([5])])
+        assert list(merged.addresses) == [5]
+
+    def test_concatenate_nothing(self):
+        assert len(TraceChunk.concatenate([])) == 0

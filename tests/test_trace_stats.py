@@ -1,0 +1,72 @@
+"""Tests for trace-level statistics."""
+
+import numpy as np
+
+from repro.trace.generators import Region, sequential_scan, uniform_random
+from repro.trace.record import TraceChunk
+from repro.trace.stats import (
+    dominant_stride_fraction,
+    footprint_bytes,
+    profile_trace,
+    stride_histogram,
+    working_set_curve,
+)
+
+
+class TestProfileTrace:
+    def test_counts(self):
+        chunk = TraceChunk([0, 64, 128], kinds=[0, 1, 0], cores=[0, 0, 1])
+        profile = profile_trace(chunk)
+        assert profile.accesses == 3
+        assert profile.reads == 2
+        assert profile.writes == 1
+        assert profile.per_core == {0: 2, 1: 1}
+
+    def test_footprint(self):
+        chunk = TraceChunk([0, 8, 16, 64, 72])
+        profile = profile_trace(chunk, line_size=64)
+        assert profile.footprint_lines == 2
+        assert profile.footprint_bytes == 128
+
+    def test_read_fraction(self):
+        chunk = TraceChunk([0, 1, 2, 3], kinds=[0, 0, 0, 1])
+        assert profile_trace(chunk).read_fraction == 0.75
+
+
+class TestFootprintBytes:
+    def test_matches_distinct_lines(self):
+        chunk = sequential_scan(Region(0, 4096), count=512, stride=8)
+        assert footprint_bytes(chunk, 64) == 4096
+
+
+class TestStrideHistogram:
+    def test_constant_stride_dominates(self):
+        chunk = sequential_scan(Region(0, 1 << 20), count=1000, stride=16)
+        histogram = stride_histogram(chunk)
+        assert max(histogram, key=histogram.get) == 16
+        assert histogram[16] > 0.99
+
+    def test_short_trace(self):
+        assert stride_histogram(TraceChunk([1])) == {}
+
+    def test_dominant_stride_fraction_streaming(self):
+        chunk = sequential_scan(Region(0, 1 << 20), count=1000, stride=64)
+        assert dominant_stride_fraction(chunk) > 0.99
+
+    def test_dominant_stride_fraction_random(self):
+        chunk = uniform_random(
+            Region(0, 1 << 26), count=2000, rng=np.random.default_rng(3)
+        )
+        assert dominant_stride_fraction(chunk) < 0.2
+
+
+class TestWorkingSetCurve:
+    def test_monotone_growth(self):
+        chunk = uniform_random(Region(0, 1 << 16), count=4000, rng=np.random.default_rng(1))
+        curve = working_set_curve(chunk, points=16)
+        footprints = [f for _, f in curve]
+        assert footprints == sorted(footprints)
+        assert footprints[-1] == len(np.unique(chunk.lines(64)))
+
+    def test_empty(self):
+        assert working_set_curve(TraceChunk.empty()) == []

@@ -1,0 +1,110 @@
+"""Tests for trace-stream combinators."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.record import TraceChunk
+from repro.trace.stream import (
+    StreamCursor,
+    chunk_stream,
+    concat,
+    limit,
+    map_chunks,
+    materialize,
+    round_robin_interleave,
+    split_by_core,
+)
+
+
+def make_chunk(start: int, n: int) -> TraceChunk:
+    return TraceChunk(list(range(start, start + n)))
+
+
+class TestChunkStream:
+    def test_splits_into_bounded_chunks(self):
+        pieces = list(chunk_stream(make_chunk(0, 10), chunk_size=4))
+        assert [len(p) for p in pieces] == [4, 4, 2]
+
+    def test_preserves_order(self):
+        pieces = list(chunk_stream(make_chunk(0, 10), chunk_size=3))
+        merged = TraceChunk.concatenate(pieces)
+        assert list(merged.addresses) == list(range(10))
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(TraceError):
+            list(chunk_stream(make_chunk(0, 4), chunk_size=0))
+
+
+class TestConcatMaterialize:
+    def test_concat(self):
+        merged = materialize(concat([[make_chunk(0, 3)], [make_chunk(3, 2)]]))
+        assert list(merged.addresses) == [0, 1, 2, 3, 4]
+
+
+class TestStreamCursor:
+    def test_take_spans_chunks(self):
+        cursor = StreamCursor([make_chunk(0, 3), make_chunk(3, 3)])
+        piece = cursor.take(5)
+        assert list(piece.addresses) == [0, 1, 2, 3, 4]
+
+    def test_exhaustion(self):
+        cursor = StreamCursor([make_chunk(0, 2)])
+        assert len(cursor.take(5)) == 2
+        assert cursor.done
+        assert len(cursor.take(5)) == 0
+
+
+class TestRoundRobinInterleave:
+    def test_quantum_rotation(self):
+        streams = [[make_chunk(0, 4)], [make_chunk(100, 4)]]
+        slices = list(round_robin_interleave(streams, quantum=2))
+        addresses = [list(s.addresses) for s in slices]
+        assert addresses == [[0, 1], [100, 101], [2, 3], [102, 103]]
+
+    def test_core_tagging(self):
+        streams = [[make_chunk(0, 2)], [make_chunk(10, 2)]]
+        slices = list(round_robin_interleave(streams, quantum=2))
+        assert set(slices[0].cores) == {0}
+        assert set(slices[1].cores) == {1}
+
+    def test_uneven_streams_drop_out(self):
+        streams = [[make_chunk(0, 6)], [make_chunk(100, 2)]]
+        slices = list(round_robin_interleave(streams, quantum=2))
+        merged = TraceChunk.concatenate(slices)
+        assert len(merged) == 8
+        # core 1's two transactions appear exactly once
+        assert sorted(int(a) for a in merged.addresses[merged.cores == 1]) == [100, 101]
+
+    def test_conservation(self):
+        streams = [[make_chunk(i * 100, 7)] for i in range(3)]
+        merged = materialize(round_robin_interleave(streams, quantum=3))
+        assert len(merged) == 21
+        expected = sorted(i * 100 + j for i in range(3) for j in range(7))
+        assert sorted(int(a) for a in merged.addresses) == expected
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(TraceError):
+            list(round_robin_interleave([[make_chunk(0, 1)]], quantum=0))
+
+
+class TestSplitByCore:
+    def test_partitions(self):
+        chunk = TraceChunk([1, 2, 3, 4], cores=[0, 1, 0, 1])
+        parts = split_by_core(chunk)
+        assert list(parts[0].addresses) == [1, 3]
+        assert list(parts[1].addresses) == [2, 4]
+
+
+class TestMapLimit:
+    def test_map_chunks(self):
+        doubled = materialize(
+            map_chunks([make_chunk(0, 3)], lambda c: TraceChunk(c.addresses * 2))
+        )
+        assert list(doubled.addresses) == [0, 2, 4]
+
+    def test_limit_truncates(self):
+        limited = materialize(limit([make_chunk(0, 5), make_chunk(5, 5)], 7))
+        assert list(limited.addresses) == list(range(7))
+
+    def test_limit_zero(self):
+        assert len(materialize(limit([make_chunk(0, 5)], 0))) == 0

@@ -1,0 +1,78 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestFormatSize:
+    def test_bytes(self):
+        assert units.format_size(64) == "64B"
+
+    def test_kilobytes(self):
+        assert units.format_size(512 * units.KB) == "512KB"
+
+    def test_megabytes(self):
+        assert units.format_size(32 * units.MB) == "32MB"
+
+    def test_gigabytes(self):
+        assert units.format_size(2 * units.GB) == "2GB"
+
+    def test_fractional(self):
+        assert units.format_size(1.5 * units.MB) == "1.5MB"
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("64B", 64),
+        ("512KB", 512 * units.KB),
+        ("32MB", 32 * units.MB),
+        ("1GB", units.GB),
+        ("128", 128),
+    ])
+    def test_round_trips(self, text, expected):
+        assert units.parse_size(text) == expected
+
+    def test_case_insensitive(self):
+        assert units.parse_size("4mb") == 4 * units.MB
+
+    def test_format_parse_identity(self):
+        for value in (64, 256, units.KB, 8 * units.MB, units.GB):
+            assert units.parse_size(units.format_size(value)) == value
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        for p in range(20):
+            assert units.is_power_of_two(1 << p)
+
+    def test_non_powers(self):
+        for value in (0, -2, 3, 6, 12, 100):
+            assert not units.is_power_of_two(value)
+
+
+class TestAddressHelpers:
+    def test_line_number(self):
+        assert units.line_number(0, 64) == 0
+        assert units.line_number(63, 64) == 0
+        assert units.line_number(64, 64) == 1
+
+    def test_align_down(self):
+        assert units.align_down(4097, 4096) == 4096
+        assert units.align_down(4096, 4096) == 4096
+
+
+class TestPaperSweeps:
+    def test_cache_sweep_is_paper_range(self):
+        assert units.PAPER_CACHE_SWEEP[0] == 4 * units.MB
+        assert units.PAPER_CACHE_SWEEP[-1] == 256 * units.MB
+
+    def test_line_sweep_is_paper_range(self):
+        assert units.PAPER_LINE_SWEEP[0] == 64
+        assert units.PAPER_LINE_SWEEP[-1] == 4096
+
+    def test_sweeps_are_doubling(self):
+        for a, b in zip(units.PAPER_CACHE_SWEEP, units.PAPER_CACHE_SWEEP[1:]):
+            assert b == 2 * a
+        for a, b in zip(units.PAPER_LINE_SWEEP, units.PAPER_LINE_SWEEP[1:]):
+            assert b == 2 * a

@@ -1,0 +1,133 @@
+"""Tests for the Workload abstraction: kernels, synthetic traces, guests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trace.stats import footprint_bytes
+from repro.workloads import WORKLOAD_NAMES, all_workloads, get_workload
+from repro.workloads.base import PRIVATE_THREAD_SPACING, SHARED_ARENA_BASE
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in WORKLOAD_NAMES:
+            assert get_workload(name).name == name
+
+    def test_case_insensitive(self):
+        assert get_workload("fimi").name == "FIMI"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_workload("APRIORI")
+
+    def test_all_workloads_in_table_order(self):
+        assert [w.name for w in all_workloads()] == list(WORKLOAD_NAMES)
+
+    def test_metadata_present(self):
+        for workload in all_workloads():
+            assert workload.description
+            assert workload.table1_parameters
+            assert workload.category in "ABC"
+
+
+class TestKernelRuns:
+    @pytest.mark.parametrize("name", list(WORKLOAD_NAMES))
+    def test_every_kernel_runs_and_traces(self, name):
+        run = get_workload(name).run_kernel()
+        assert run.accesses > 100
+        assert run.instructions >= run.accesses
+        assert run.apki > 0
+
+    def test_category_a_threads_share_addresses(self):
+        """SNP threads reference the same genotype matrix addresses."""
+        workload = get_workload("SNP")
+        run0 = workload.run_kernel(thread_id=0, threads=2)
+        run1 = workload.run_kernel(thread_id=1, threads=2)
+        lines0 = set(np.unique(run0.trace.lines(64)).tolist())
+        lines1 = set(np.unique(run1.trace.lines(64)).tolist())
+        overlap = len(lines0 & lines1) / len(lines0 | lines1)
+        assert overlap > 0.9
+
+    def test_category_c_threads_disjoint_addresses(self):
+        """SHOT threads own disjoint frame buffers."""
+        workload = get_workload("SHOT")
+        run0 = workload.run_kernel(thread_id=0, threads=2)
+        run1 = workload.run_kernel(thread_id=1, threads=2)
+        lines0 = set(np.unique(run0.trace.lines(64)).tolist())
+        lines1 = set(np.unique(run1.trace.lines(64)).tolist())
+        assert not (lines0 & lines1)
+
+    def test_arena_bases_by_category(self):
+        shot = get_workload("SHOT")
+        assert shot._arena_base(0) == SHARED_ARENA_BASE
+        assert shot._arena_base(1) == SHARED_ARENA_BASE + PRIVATE_THREAD_SPACING
+        fimi = get_workload("FIMI")
+        assert fimi._arena_base(1) == SHARED_ARENA_BASE
+
+
+class TestSyntheticTraces:
+    def test_trace_length(self):
+        workload = get_workload("FIMI")
+        trace = workload.synthetic_thread_trace(0, 8, accesses=5000, scale=1 / 256)
+        assert len(trace) == 5000
+
+    def test_scale_shrinks_footprint(self):
+        workload = get_workload("SHOT")
+        small = workload.synthetic_thread_trace(0, 1, 20000, scale=1 / 1024)
+        large = workload.synthetic_thread_trace(0, 1, 20000, scale=1 / 128)
+        assert footprint_bytes(small) < footprint_bytes(large)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            get_workload("FIMI").synthetic_thread_trace(0, 1, 100, scale=0)
+
+    def test_write_fraction_matches_model(self):
+        workload = get_workload("MDS")
+        trace = workload.synthetic_thread_trace(0, 1, 20000, scale=1 / 256)
+        read_fraction = trace.read_count() / len(trace)
+        assert read_fraction == pytest.approx(workload.model.read_fraction, abs=0.05)
+
+    def test_private_regions_disjoint_across_threads(self):
+        workload = get_workload("SHOT")
+        t0 = workload.synthetic_thread_trace(0, 4, 10000, scale=1 / 256)
+        t1 = workload.synthetic_thread_trace(1, 4, 10000, scale=1 / 256)
+        # Shared stream addresses may overlap, but private frame ranges
+        # must not: check the per-thread private windows.
+        window0 = (t0.addresses >= SHARED_ARENA_BASE + PRIVATE_THREAD_SPACING) & (
+            t0.addresses < SHARED_ARENA_BASE + 2 * PRIVATE_THREAD_SPACING
+        )
+        window1 = (t1.addresses >= SHARED_ARENA_BASE + 2 * PRIVATE_THREAD_SPACING) & (
+            t1.addresses < SHARED_ARENA_BASE + 3 * PRIVATE_THREAD_SPACING
+        )
+        assert window0.any() and window1.any()
+
+
+class TestGuestWorkloads:
+    def test_synthetic_guest_runs_in_cosim(self):
+        from repro.cache.emulator import DragonheadConfig
+        from repro.core.cosim import CoSimPlatform
+        from repro.units import MB
+
+        workload = get_workload("FIMI")
+        guest = workload.guest_workload(
+            "synthetic", accesses_per_thread=8192, scale=1 / 512
+        )
+        platform = CoSimPlatform(DragonheadConfig(cache_size=1 * MB))
+        result = platform.run(guest, cores=4)
+        assert result.accesses == 4 * 8192
+        assert result.mpki >= 0
+
+    def test_kernel_guest_runs_in_cosim(self):
+        from repro.cache.emulator import DragonheadConfig
+        from repro.core.cosim import CoSimPlatform
+        from repro.units import MB
+
+        workload = get_workload("PLSA")
+        platform = CoSimPlatform(DragonheadConfig(cache_size=1 * MB), quantum=1024)
+        result = platform.run(workload.kernel_guest(), cores=2)
+        assert result.accesses > 1000
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_workload("FIMI").guest_workload("recorded")

@@ -1,0 +1,139 @@
+"""Tests for the access-component/memory-model machinery."""
+
+import pytest
+
+from repro.errors import CalibrationError, ConfigurationError
+from repro.units import KB, MB
+from repro.workloads.models import (
+    AccessComponent,
+    WorkloadMemoryModel,
+    hot_component,
+)
+
+
+class TestAccessComponent:
+    def test_rejects_unknown_pattern(self):
+        with pytest.raises(ConfigurationError):
+            AccessComponent("x", "sequentialish", 1024, 1.0)
+
+    def test_rejects_unknown_sharing(self):
+        with pytest.raises(ConfigurationError):
+            AccessComponent("x", "cyclic", 1024, 1.0, sharing="mine")
+
+    def test_raw_apki_for_narrow_stride(self):
+        component = AccessComponent("x", "cyclic", 1 * MB, 2.0, stride=8)
+        assert component.raw_apki == 16.0  # 8 accesses per 64B line
+
+    def test_raw_apki_for_wide_stride(self):
+        component = AccessComponent("x", "cyclic", 1 * MB, 2.0, stride=256)
+        assert component.raw_apki == 2.0
+
+    def test_crossing_scales_with_line_size(self):
+        component = AccessComponent("x", "cyclic", 1 * MB, 4.0, stride=8)
+        assert component.crossing_apki(64) == 4.0
+        assert component.crossing_apki(256) == 1.0
+        assert component.crossing_apki(512) == 0.5
+
+    def test_random_crossing_is_line_size_invariant(self):
+        component = AccessComponent("x", "random", 1 * MB, 3.0)
+        assert component.crossing_apki(64) == component.crossing_apki(1024) == 3.0
+
+    def test_prefetchable_patterns(self):
+        assert AccessComponent("x", "cyclic", 1024, 1.0).prefetchable
+        assert AccessComponent("x", "stream", 1024, 1.0).prefetchable
+        assert not AccessComponent("x", "random", 1024, 1.0).prefetchable
+        assert not AccessComponent("x", "pointer", 1024, 1.0).prefetchable
+
+
+class TestComponentProfiles:
+    def test_cyclic_mass_near_footprint(self):
+        component = AccessComponent("x", "cyclic", 1 * MB, 4.0, stride=64)
+        profile = component.profile(64, 1)
+        footprint = 1 * MB / 64
+        # Everything misses well below the working set...
+        assert profile.miss_rate(footprint * 0.5) == pytest.approx(4.0)
+        # ...nothing misses well above the smoothing spread.
+        assert profile.miss_rate(footprint * 1.5) == pytest.approx(0.0)
+
+    def test_stream_always_misses(self):
+        component = AccessComponent("x", "stream", 1 * MB, 2.0, stride=64)
+        assert component.profile(64, 1).miss_rate(1e9) == pytest.approx(2.0)
+
+    def test_private_dilation(self):
+        component = AccessComponent("x", "cyclic", 1 * MB, 1.0, stride=64, sharing="private")
+        lines_16 = 16 * MB / 64
+        assert component.profile(64, 16).miss_rate(lines_16 * 1.5) == pytest.approx(0.0)
+        assert component.profile(64, 16).miss_rate(lines_16 * 0.5) == pytest.approx(1.0)
+
+    def test_shared_unaffected_by_threads(self):
+        component = AccessComponent("x", "random", 4 * MB, 1.0)
+        one = component.profile(64, 1)
+        many = component.profile(64, 32)
+        for capacity in (1 * MB / 64, 2 * MB / 64, 8 * MB / 64):
+            assert one.miss_rate(capacity) == pytest.approx(many.miss_rate(capacity))
+
+    def test_same_line_hits_included(self):
+        component = AccessComponent("x", "cyclic", 1 * MB, 1.0, stride=8)
+        profile = component.profile(64, 1)
+        assert profile.total_rate == pytest.approx(8.0)  # raw accesses
+        # 7/8 of accesses are same-line and hit even a tiny cache.
+        assert profile.miss_rate(4) == pytest.approx(1.0)
+
+
+class TestWorkloadMemoryModel:
+    def make(self, components, mem_fraction=0.5):
+        return WorkloadMemoryModel("TEST", components, mem_fraction, 0.7)
+
+    def test_apki(self):
+        model = self.make([AccessComponent("x", "random", 1 * MB, 5.0)])
+        assert model.apki == 500.0
+        assert model.instructions_per_access == 2.0
+
+    def test_budget_enforced(self):
+        with pytest.raises(CalibrationError):
+            self.make([AccessComponent("x", "random", 1 * MB, 600.0)])
+
+    def test_llc_mpki_composition(self):
+        model = self.make([
+            AccessComponent("a", "stream", 1 * MB, 1.0, stride=64),
+            AccessComponent("b", "cyclic", 8 * MB, 2.0, stride=64),
+        ])
+        # Below 8MB: both miss; above spread: only the stream.
+        assert model.llc_mpki(2 * MB) == pytest.approx(3.0)
+        assert model.llc_mpki(16 * MB) == pytest.approx(1.0)
+
+    def test_footprint(self):
+        model = self.make([
+            AccessComponent("a", "random", 4 * MB, 1.0),
+            AccessComponent("b", "random", 1 * MB, 1.0, sharing="private"),
+        ])
+        assert model.footprint_bytes(1) == 5 * MB
+        assert model.footprint_bytes(8) == 12 * MB
+
+    def test_prefetchable_fraction(self):
+        model = self.make([
+            AccessComponent("a", "stream", 1 * MB, 1.0, stride=64),
+            AccessComponent("b", "pointer", 8 * MB, 1.0),
+        ])
+        assert model.prefetchable_miss_fraction(512 * KB) == pytest.approx(0.5, abs=0.01)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadMemoryModel("X", [], 0.0, 0.5)
+
+
+class TestHotComponent:
+    def test_fills_remainder(self):
+        hot = hot_component("X", used_apki=100.0, total_apki=500.0)
+        assert hot.raw_apki == pytest.approx(400.0)
+        assert hot.region_bytes == 4 * KB
+
+    def test_rejects_overcommitted_budget(self):
+        with pytest.raises(CalibrationError):
+            hot_component("X", used_apki=600.0, total_apki=500.0)
+
+    def test_hot_set_always_hits_l1(self):
+        hot = hot_component("X", 100.0, 500.0)
+        profile = hot.profile(64, 1)
+        # 8KB L1 = 128 lines; the 4KB hot set (64 lines + spread) fits.
+        assert profile.miss_rate(128) == pytest.approx(0.0, abs=1e-9)

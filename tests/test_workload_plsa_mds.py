@@ -1,0 +1,96 @@
+"""Deep-dive tests: PLSA and MDS (the IPC extremes)."""
+
+import pytest
+
+from repro.units import MB
+from repro.workloads import get_workload
+
+
+class TestPLSA:
+    """Paper: 83% memory instructions yet IPC 1.08 and DL2 MPKI 0.18 —
+    the rolling-row DP working set fits everywhere; category A."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return get_workload("PLSA")
+
+    def test_extreme_profile(self, workload):
+        from repro.workloads import all_workloads
+
+        model = workload.model
+        others = [w.model for w in all_workloads() if w.name != "PLSA"]
+        assert model.mem_fraction > max(o.mem_fraction for o in others)
+        assert model.dl2_mpki() < min(o.dl2_mpki() for o in others)
+
+    def test_flat_with_threads_and_size(self, workload):
+        model = workload.model
+        values = [
+            model.llc_mpki(size, 64, cores)
+            for size in (8 * MB, 64 * MB)
+            for cores in (8, 32)
+        ]
+        assert max(values) < 0.1  # near-zero everywhere
+
+    def test_kernel_wavefront_matches_reference_score(self, workload):
+        """The single-thread kernel computes the true SW score."""
+        from repro.mining.align import sw_best_score
+        from repro.mining.datasets import dna_pair
+
+        run = workload.run_kernel(thread_id=0, threads=1)
+        a, b = dna_pair(length=192, seed=29)
+        assert run.result == sw_best_score(a, b)
+
+    def test_multi_thread_blocks_partition_columns(self, workload):
+        runs = [workload.run_kernel(t, 4) for t in range(4)]
+        # Four quarter-row blocks trace about a quarter of the work each.
+        single = workload.run_kernel(0, 1)
+        for run in runs:
+            assert run.accesses < 0.5 * single.accesses
+
+
+class TestMDS:
+    """Paper: 300 MB sparse matrix, no benefit up to 256 MB, worst IPC
+    (0.06), Figure 7 responder; category A."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return get_workload("MDS")
+
+    def test_matrix_exceeds_every_simulated_cache(self, workload):
+        by_name = {c.name: c for c in workload.model.components}
+        assert by_name["mds-matrix"].region_bytes > 256 * MB
+
+    def test_flat_curve_at_every_cmp(self, workload):
+        model = workload.model
+        for cores in (8, 16, 32):
+            series = [
+                model.llc_mpki(size * MB, 64, cores)
+                for size in (4, 16, 64, 256)
+            ]
+            assert min(series) > 0.75 * max(series)
+
+    def test_worst_ipc_of_the_suite(self, workload):
+        from repro.perf.cpi import predicted_ipc
+        from repro.workloads import all_workloads
+
+        ipcs = {
+            w.name: predicted_ipc(w.name, w.model.dl1_mpki(), w.model.dl2_mpki())
+            for w in all_workloads()
+        }
+        assert min(ipcs, key=ipcs.get) == "MDS"
+        assert ipcs["MDS"] < 0.08
+
+    def test_kernel_power_iteration_streams_matrix(self, workload):
+        run = workload.run_kernel()
+        summary = run.result
+        assert len(summary.selected) == 4
+        # Four iterations over an n x n matrix dominate the trace.
+        assert run.accesses > 4 * summary.sentences**2
+
+    def test_responder_despite_flat_capacity_curve(self, workload):
+        """The interesting MDS combination: no capacity benefit, big
+        line-size benefit (streamed compressed matrix)."""
+        model = workload.model
+        at64 = model.llc_mpki(32 * MB, 64, 32)
+        at256 = model.llc_mpki(32 * MB, 256, 32)
+        assert at64 / at256 > 2.5

@@ -1,0 +1,96 @@
+"""Deep-dive tests: SHOT and VIEWTYPE (the category-C pair)."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import LCMP, MCMP, SCMP, cache_size_sweep, working_set_knee
+from repro.units import MB, PAPER_CACHE_SWEEP
+from repro.workloads import get_workload
+
+
+class TestSHOT:
+    """Paper: ~4 MB private per thread, working set 32/64/128 MB across
+    CMPs, near-linear Figure 7 gains, prefetch-friendly streaming."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return get_workload("SHOT")
+
+    def test_everything_big_is_private(self, workload):
+        for component in workload.model.components:
+            if component.region_bytes > 1 * MB:
+                assert component.sharing == "private", component.name
+
+    def test_per_thread_footprint_near_4mb(self, workload):
+        per_thread = workload.model.footprint_bytes(1)
+        assert 2 * MB < per_thread < 6 * MB
+
+    def test_knee_doubles_with_cores(self, workload):
+        for cmp_config, expected_mb in ((SCMP, 32), (MCMP, 64), (LCMP, 128)):
+            sweep = cache_size_sweep(workload.model, cmp_config, PAPER_CACHE_SWEEP)
+            assert working_set_knee(sweep, drop_fraction=0.25) == expected_mb * MB
+
+    def test_highest_prefetch_coverage(self, workload):
+        from repro.perf.prefetch_study import coverage_at
+
+        assert coverage_at(workload.model, 512 * 1024) > 0.85
+
+    def test_kernels_of_different_threads_are_disjoint(self, workload):
+        run0 = workload.run_kernel(0, 2)
+        run1 = workload.run_kernel(1, 2)
+        lines0 = set(np.unique(run0.trace.lines(64)).tolist())
+        lines1 = set(np.unique(run1.trace.lines(64)).tolist())
+        assert not lines0 & lines1
+
+    def test_kernel_detects_its_shot_boundaries(self, workload):
+        run = workload.run_kernel()
+        boundaries = run.result
+        assert boundaries[0] == 0
+        assert all(b < 16 for b in boundaries)
+
+
+class TestVIEWTYPE:
+    """Paper: 1-2 MB private per thread, working set 16/32/64 MB,
+    modest Figure 7 gains (the two-pass mask scans)."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return get_workload("VIEWTYPE")
+
+    def test_smaller_per_thread_than_shot(self, workload):
+        shot = get_workload("SHOT")
+        assert workload.model.footprint_bytes(1) < shot.model.footprint_bytes(1)
+
+    def test_knees_track_paper(self, workload):
+        for cmp_config, expected_mb in ((SCMP, 16), (MCMP, 32), (LCMP, 64)):
+            sweep = cache_size_sweep(workload.model, cmp_config, PAPER_CACHE_SWEEP)
+            assert working_set_knee(sweep, drop_fraction=0.25) == expected_mb * MB
+
+    def test_not_a_line_responder(self, workload):
+        model = workload.model
+        reduction = model.llc_mpki(32 * MB, 64, 32) / model.llc_mpki(32 * MB, 256, 32)
+        assert reduction < 2.5
+
+    def test_kernel_classifies_views(self, workload):
+        run = workload.run_kernel()
+        views = run.result
+        assert len(views) == 10
+        assert set(views) <= {"global", "medium", "closeup", "outofview"}
+
+    def test_category_c_exact_path_scaling(self, workload):
+        """Exact path: more threads, more distinct lines on the bus."""
+        from repro.trace.stream import materialize, round_robin_interleave
+
+        two = materialize(
+            round_robin_interleave(
+                [[workload.run_kernel(t, 2).trace] for t in range(2)], quantum=256
+            )
+        )
+        four = materialize(
+            round_robin_interleave(
+                [[workload.run_kernel(t, 4).trace] for t in range(4)], quantum=256
+            )
+        )
+        distinct_two = len(np.unique(two.lines(64)))
+        distinct_four = len(np.unique(four.lines(64)))
+        assert distinct_four > 1.5 * distinct_two

@@ -1,0 +1,92 @@
+"""Deep-dive tests: SNP and SVM-RFE against their paper claims."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import SCMP, cache_size_sweep
+from repro.units import KB, MB, PAPER_CACHE_SWEEP
+from repro.workloads import get_workload
+
+
+class TestSNP:
+    """Paper: two working sets (16 MB, 128 MB); category A; Figure 7
+    responder; IPC 0.12 from high exposed memory stalls."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return get_workload("SNP")
+
+    def test_component_structure(self, workload):
+        names = {c.name for c in workload.model.components}
+        assert {"snp-counts", "snp-matrix", "snp-l2"} <= names
+        by_name = {c.name: c for c in workload.model.components}
+        assert by_name["snp-counts"].region_bytes < by_name["snp-matrix"].region_bytes
+        assert by_name["snp-matrix"].sharing == "shared"
+
+    def test_two_plateaus_in_the_curve(self, workload):
+        sweep = dict(cache_size_sweep(workload.model, SCMP, PAPER_CACHE_SWEEP))
+        # Plateau between the knees: 32 and 64 MB within 10%.
+        assert sweep[64 * MB] == pytest.approx(sweep[32 * MB], rel=0.10)
+        # Both knees drop at least 25%.
+        assert sweep[16 * MB] < 0.75 * sweep[8 * MB]
+        assert sweep[256 * MB] < 0.75 * sweep[64 * MB]
+
+    def test_kernel_learns_structure_from_linked_loci(self, workload):
+        run = workload.run_kernel()
+        net, score = run.result
+        assert len(net.edges()) >= 1
+        # All threads would study the same matrix: run twice, same trace.
+        run2 = workload.run_kernel()
+        assert np.array_equal(run.trace.addresses, run2.trace.addresses)
+
+    def test_kernel_is_column_scan_dominated(self, workload):
+        from repro.trace.stats import stride_histogram
+
+        run = workload.run_kernel()
+        histogram = stride_histogram(run.trace, top=4)
+        # Column scans of a (rows x 10) uint8 matrix stride by ~10 bytes.
+        assert any(0 < abs(s) <= 64 for s in histogram)
+
+
+class TestSVMRFE:
+    """Paper: 4 MB working set (data-blocked), huge DL1 MPKI (61.4)
+    with high IPC (0.87) — overlap-heavy streaming; category A."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return get_workload("SVM-RFE")
+
+    def test_highest_dl1_mpki_of_all_workloads(self, workload):
+        from repro.workloads import all_workloads
+
+        dl1 = {w.name: w.model.dl1_mpki() for w in all_workloads()}
+        assert max(dl1, key=dl1.get) == "SVM-RFE"
+
+    def test_blocked_tile_dominates_l2_traffic(self, workload):
+        by_name = {c.name: c for c in workload.model.components}
+        tile = by_name["svm-tile"]
+        assert 8 * KB < tile.region_bytes <= 512 * KB
+        assert tile.apki64 == pytest.approx(61.40 - 2.96)
+
+    def test_small_llc_suffices(self, workload):
+        """Beyond 4MB the model is at its stream floor everywhere."""
+        model = workload.model
+        for cores in (8, 16, 32):
+            floor = model.llc_mpki(256 * MB, 64, cores)
+            assert model.llc_mpki(8 * MB, 64, cores) == pytest.approx(
+                floor, rel=0.05, abs=0.02
+            )
+
+    def test_exposure_is_lowest(self):
+        """The overlap story: SVM-RFE hides more miss latency than
+        anyone (high IPC despite the DL1 miss storm)."""
+        from repro.workloads.profiles import CPI_PARAMETERS
+
+        exposures = {name: p.exposure for name, p in CPI_PARAMETERS.items()}
+        assert min(exposures, key=exposures.get) == "SVM-RFE"
+
+    def test_kernel_selects_informative_genes(self, workload):
+        run = workload.run_kernel()
+        selected = run.result
+        assert len(selected) == 6
+        assert len(set(selected)) == 6

@@ -1,0 +1,127 @@
+"""Tests for write-back L1 mode plus property tests for the new caches."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import CacheConfig
+from repro.cache.dramsim import DramCacheConfig, DramCacheSim
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cache.sector import SectorCache, SectorCacheConfig
+from repro.trace.generators import Region, cyclic_scan
+from repro.trace.record import AccessKind, TraceChunk
+from repro.units import KB, MB
+
+
+def write_back_hierarchy(cores: int = 1) -> CacheHierarchy:
+    return CacheHierarchy(
+        HierarchyConfig(
+            l1=CacheConfig(size=1 * KB, line_size=64, associativity=4, name="L1"),
+            llc=CacheConfig(size=16 * KB, line_size=64, associativity=8, name="LLC"),
+            cores=cores,
+            write_back_l1=True,
+        )
+    )
+
+
+class TestWriteBackMode:
+    def test_write_hit_stays_in_l1(self):
+        hierarchy = write_back_hierarchy()
+        hierarchy.access(0x100, AccessKind.READ)   # fill
+        llc_before = hierarchy.llc.stats.accesses
+        hierarchy.access(0x100, AccessKind.WRITE)  # dirty the line
+        assert hierarchy.llc.stats.accesses == llc_before  # absorbed
+
+    def test_dirty_eviction_writes_back(self):
+        hierarchy = write_back_hierarchy()
+        # Set 0 holds 4 ways; dirty one line, then evict it with 4 more
+        # same-set fills (lines spaced by num_sets*64 = 4*64).
+        hierarchy.access(0x0, AccessKind.WRITE)
+        for i in range(1, 5):
+            hierarchy.access(i * 4 * 64, AccessKind.READ)
+        assert hierarchy.writebacks == 1
+        assert hierarchy.llc.stats.writes == 1
+
+    def test_clean_eviction_is_silent(self):
+        hierarchy = write_back_hierarchy()
+        hierarchy.access(0x0, AccessKind.READ)
+        for i in range(1, 5):
+            hierarchy.access(i * 4 * 64, AccessKind.READ)
+        assert hierarchy.writebacks == 0
+
+    def test_write_back_reduces_llc_write_traffic(self):
+        """The mode's purpose: repeated writes to hot lines coalesce."""
+        trace_region = Region(0, 512)
+        writes = cyclic_scan(trace_region, passes=50, stride=64, write_fraction=1.0)
+        through = CacheHierarchy(
+            HierarchyConfig(
+                l1=CacheConfig(size=1 * KB, line_size=64, associativity=4),
+                llc=CacheConfig(size=16 * KB, line_size=64, associativity=8),
+            )
+        )
+        through.access_chunk(writes.with_core(0))
+        back = write_back_hierarchy()
+        back.access_chunk(writes.with_core(0))
+        assert back.llc.stats.accesses < 0.1 * through.llc.stats.accesses
+
+    def test_rewrite_of_dirty_line_no_extra_writeback(self):
+        hierarchy = write_back_hierarchy()
+        hierarchy.access(0x0, AccessKind.WRITE)
+        hierarchy.access(0x0, AccessKind.WRITE)
+        for i in range(1, 5):
+            hierarchy.access(i * 4 * 64, AccessKind.READ)
+        assert hierarchy.writebacks == 1
+
+
+addresses_strategy = st.lists(
+    st.tuples(st.integers(0, 255), st.booleans()), min_size=1, max_size=300
+)
+
+
+class TestSectorCacheProperties:
+    @given(operations=addresses_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_accounting_invariants(self, operations):
+        cache = SectorCache(
+            SectorCacheConfig(size=8 * KB, sector_size=512, subblock_size=64,
+                              associativity=4)
+        )
+        for slot, is_write in operations:
+            cache.access(slot * 64, AccessKind.WRITE if is_write else AccessKind.READ)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses
+        assert stats.bytes_transferred == stats.misses * 64
+
+    @given(operations=addresses_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_immediate_rereference_hits(self, operations):
+        cache = SectorCache(
+            SectorCacheConfig(size=8 * KB, sector_size=512, subblock_size=64,
+                              associativity=4)
+        )
+        for slot, _ in operations:
+            cache.access(slot * 64)
+            assert cache.access(slot * 64)  # same sub-block: must hit
+
+
+class TestDramSimProperties:
+    @given(operations=addresses_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_latency_and_counter_invariants(self, operations):
+        sim = DramCacheSim(
+            DramCacheConfig(capacity=1 * MB, line_size=256, associativity=4, banks=4)
+        )
+        config = sim.config
+        for slot, is_write in operations:
+            latency = sim.access(
+                slot * 256, AccessKind.WRITE if is_write else AccessKind.READ
+            )
+            minimum = config.tag_latency + config.row_hit_latency
+            maximum = (
+                config.tag_latency + config.memory_latency + config.row_conflict_latency
+            )
+            assert minimum <= latency <= maximum
+        stats = sim.stats
+        assert stats.row_hits + stats.row_conflicts == stats.accesses
+        assert stats.content_hits <= stats.accesses
