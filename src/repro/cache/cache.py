@@ -11,7 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
+from repro.cache.fastlru import FastLRUKernel
 from repro.cache.replacement import ReplacementPolicy, make_policy
 from repro.cache.stats import CacheStats
 from repro.trace.record import AccessKind, TraceChunk
@@ -94,9 +97,17 @@ class SetAssociativeCache:
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self.stats = CacheStats()
-        self._policy: ReplacementPolicy = make_policy(
-            config.policy, config.num_sets, config.associativity
-        )
+        if config.policy.lower() == "lru":
+            # LRU traffic goes through the batched kernel; it implements
+            # the full ReplacementPolicy interface, so the scalar paths
+            # (and the layers that inspect recency order) are unchanged.
+            self._policy: ReplacementPolicy = FastLRUKernel(
+                config.num_sets, config.associativity
+            )
+        else:
+            self._policy = make_policy(
+                config.policy, config.num_sets, config.associativity
+            )
         self._line_shift = config.line_size.bit_length() - 1
         self._set_mask = config.num_sets - 1
 
@@ -123,21 +134,43 @@ class SetAssociativeCache:
 
     def access_chunk(self, chunk: TraceChunk) -> int:
         """Process a trace chunk; returns the number of misses it caused."""
-        lines = chunk.lines(self.config.line_size)
-        kinds = chunk.kinds
-        cores = chunk.cores
-        set_mask = self._set_mask
+        return self.access_lines_batch(
+            chunk.lines(self.config.line_size), chunk.kinds, chunk.cores
+        )
+
+    def access_lines_batch(
+        self,
+        lines: np.ndarray,
+        kinds: np.ndarray,
+        cores: np.ndarray | int,
+    ) -> int:
+        """Process a batch of line numbers; returns the misses it caused.
+
+        LRU caches run through the batched :class:`FastLRUKernel` path;
+        every other policy falls back to the generic per-access loop.
+        """
         policy = self._policy
         stats = self.stats
+        if isinstance(policy, FastLRUKernel):
+            set_indices = None
+            if self.config.num_sets > 1:
+                set_indices = lines & np.uint64(self._set_mask)
+            result = policy.lookup_batch(lines, set_indices)
+            stats.evictions += result.evictions
+            stats.note_batch(kinds, cores, result.hits)
+            return result.misses
+        set_mask = self._set_mask
         misses_before = stats.misses
         read_kind = int(AccessKind.READ)
+        scalar_core = isinstance(cores, (int, np.integer))
         # Local-variable binding keeps the per-access Python overhead low.
-        for i in range(len(chunk)):
+        for i in range(len(lines)):
             line = int(lines[i])
             hit, evicted = policy.lookup(line & set_mask, line)
             if evicted is not None:
                 stats.evictions += 1
-            stats.note_access(int(cores[i]), int(kinds[i]) == read_kind, hit)
+            core = int(cores) if scalar_core else int(cores[i])
+            stats.note_access(core, int(kinds[i]) == read_kind, hit)
         return stats.misses - misses_before
 
     def access_stream(self, stream) -> CacheStats:
@@ -184,9 +217,10 @@ class SetAssociativeCache:
 class FullyAssociativeLRU:
     """A fast fully-associative LRU cache used as the validation oracle.
 
-    Implemented on a dict (insertion-ordered), so ``access`` is O(1).
-    Its miss counts are exactly what the stack-distance model predicts,
-    which is what the model-vs-exact agreement tests rely on.
+    A single-set :class:`FastLRUKernel`, so ``access`` is O(1) and
+    ``access_chunk`` runs the batched kernel path.  Its miss counts are
+    exactly what the stack-distance model predicts, which is what the
+    model-vs-exact agreement tests rely on.
     """
 
     def __init__(self, capacity_lines: int, line_size: int = 64) -> None:
@@ -194,7 +228,7 @@ class FullyAssociativeLRU:
             raise ConfigurationError(f"capacity must be positive, got {capacity_lines}")
         self.capacity_lines = capacity_lines
         self.line_size = line_size
-        self._resident: dict[int, None] = {}
+        self._kernel = FastLRUKernel(num_sets=1, associativity=capacity_lines)
         self.stats = CacheStats()
         self._line_shift = line_size.bit_length() - 1
 
@@ -203,25 +237,14 @@ class FullyAssociativeLRU:
         return self.access_line(line, kind, core)
 
     def access_line(self, line: int, kind: AccessKind = AccessKind.READ, core: int = 0) -> bool:
-        resident = self._resident
-        hit = line in resident
-        if hit:
-            del resident[line]
-            resident[line] = None
-        else:
-            resident[line] = None
-            if len(resident) > self.capacity_lines:
-                oldest = next(iter(resident))
-                del resident[oldest]
-                self.stats.evictions += 1
+        hit, evicted = self._kernel.lookup(0, line)
+        if evicted is not None:
+            self.stats.evictions += 1
         self.stats.note_access(core, kind == AccessKind.READ, hit)
         return hit
 
     def access_chunk(self, chunk: TraceChunk) -> int:
-        lines = chunk.lines(self.line_size)
-        kinds = chunk.kinds
-        cores = chunk.cores
-        before = self.stats.misses
-        for i in range(len(chunk)):
-            self.access_line(int(lines[i]), AccessKind(int(kinds[i])), int(cores[i]))
-        return self.stats.misses - before
+        result = self._kernel.lookup_batch(chunk.lines(self.line_size))
+        self.stats.evictions += result.evictions
+        self.stats.note_batch(chunk.kinds, chunk.cores, result.hits)
+        return result.misses

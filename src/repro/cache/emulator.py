@@ -48,6 +48,11 @@ from repro.units import (
 #: Dragonhead has four cache-controller FPGAs (CC0..CC3).
 NUM_BANKS = 4
 
+#: Line-number shift that folds the bank-selection bits away, derived
+#: from the bank count so the banked (chunk) and unbanked (scalar)
+#: paths cannot diverge if NUM_BANKS ever changes.
+BANK_SHIFT = NUM_BANKS.bit_length() - 1
+
 
 @dataclass(frozen=True, slots=True)
 class DragonheadConfig:
@@ -177,6 +182,10 @@ class DragonheadEmulator:
     """
 
     def __init__(self, config: DragonheadConfig) -> None:
+        self._build(config)
+
+    def _build(self, config: DragonheadConfig) -> None:
+        """(Re)program the FPGAs: fresh AF, CC banks, and CB sampler."""
         self.config = config
         self.af = AddressFilter()
         self.banks = [
@@ -215,28 +224,18 @@ class DragonheadEmulator:
         lines = chunk.lines(self.config.line_size)
         kinds = chunk.kinds
         bank_index = (lines % np.uint64(NUM_BANKS)).astype(np.uint8)
-        read_kind = int(AccessKind.READ)
         for b in range(NUM_BANKS):
             mask = bank_index == b
             if not mask.any():
                 continue
-            bank = self.banks[b]
-            bank_lines = lines[mask] >> np.uint64(2)
-            bank_kinds = kinds[mask]
-            stats = bank.stats
-            policy = bank._policy
-            set_mask = bank._set_mask
-            for i in range(len(bank_lines)):
-                line = int(bank_lines[i])
-                hit, evicted = policy.lookup(line & set_mask, line)
-                if evicted is not None:
-                    stats.evictions += 1
-                stats.note_access(core, int(bank_kinds[i]) == read_kind, hit)
+            self.banks[b].access_lines_batch(
+                lines[mask] >> np.uint64(BANK_SHIFT), kinds[mask], core
+            )
 
     def _access(self, address: int, kind: AccessKind, core: int) -> None:
         line = address >> self._line_shift
         bank = self.banks[line % NUM_BANKS]
-        bank.access_line(line >> 2, kind, core)
+        bank.access_line(line >> BANK_SHIFT, kind, core)
 
     def _apply_message(self, address: int) -> None:
         message = self.af.handle_message(address)
@@ -285,5 +284,11 @@ class DragonheadEmulator:
         )
 
     def reconfigure(self, config: DragonheadConfig) -> None:
-        """Reprogram the FPGAs with a new cache configuration."""
-        self.__init__(config)
+        """Reprogram the FPGAs with a new cache configuration.
+
+        Rebuilds the AF, the CC banks, and the CB sampler explicitly
+        (rather than re-running ``__init__`` on a live object), so no
+        emulation state — counters, residency, window samples, or the
+        AF's session flags — can survive a reconfiguration.
+        """
+        self._build(config)

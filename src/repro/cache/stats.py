@@ -9,6 +9,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.trace.record import AccessKind
+
+
+def _dict_delta(now: dict[int, int], before: dict[int, int]) -> dict[int, int]:
+    """Per-core counter differences, dropping cores with no new activity."""
+    delta: dict[int, int] = {}
+    for core, count in now.items():
+        changed = count - before.get(core, 0)
+        if changed:
+            delta[core] = changed
+    return delta
+
 
 @dataclass(slots=True)
 class CacheStats:
@@ -67,6 +81,60 @@ class CacheStats:
         if not hit:
             self.per_core_misses[core] = self.per_core_misses.get(core, 0) + 1
 
+    def note_batch(
+        self,
+        kinds: np.ndarray,
+        cores: np.ndarray | int,
+        hits: np.ndarray,
+    ) -> None:
+        """Account a whole chunk of access outcomes, vectorized.
+
+        Equivalent to calling :meth:`note_access` once per access with
+        ``kinds[i] == AccessKind.READ`` / ``cores[i]`` / ``hits[i]``,
+        but using numpy reductions.  ``cores`` may be a scalar when the
+        whole chunk was issued by one core (the emulator's DEX slices).
+        """
+        hits = np.asarray(hits, dtype=bool)
+        n = int(hits.size)
+        if n == 0:
+            return
+        kinds = np.asarray(kinds)
+        read_mask = kinds == int(AccessKind.READ)
+        reads = int(np.count_nonzero(read_mask))
+        hit_count = int(np.count_nonzero(hits))
+        miss_count = n - hit_count
+        miss_mask = ~hits
+        read_misses = int(np.count_nonzero(read_mask & miss_mask))
+        self.accesses += n
+        self.reads += reads
+        self.writes += n - reads
+        self.hits += hit_count
+        self.misses += miss_count
+        self.read_misses += read_misses
+        self.write_misses += miss_count - read_misses
+        if isinstance(cores, (int, np.integer)):
+            core = int(cores)
+            self.per_core_accesses[core] = self.per_core_accesses.get(core, 0) + n
+            if miss_count:
+                self.per_core_misses[core] = (
+                    self.per_core_misses.get(core, 0) + miss_count
+                )
+            return
+        cores = np.asarray(cores)
+        access_counts = np.bincount(cores)
+        for core in np.nonzero(access_counts)[0]:
+            core = int(core)
+            self.per_core_accesses[core] = self.per_core_accesses.get(core, 0) + int(
+                access_counts[core]
+            )
+        if miss_count:
+            miss_counts = np.bincount(cores[miss_mask])
+            for core in np.nonzero(miss_counts)[0]:
+                core = int(core)
+                self.per_core_misses[core] = self.per_core_misses.get(core, 0) + int(
+                    miss_counts[core]
+                )
+
     def merge(self, other: "CacheStats") -> "CacheStats":
         """Return the sum of two counter sets (bank aggregation)."""
         merged = CacheStats(
@@ -106,7 +174,12 @@ class CacheStats:
         )
 
     def delta(self, earlier: "CacheStats") -> "CacheStats":
-        """Counters accumulated since ``earlier`` (window sampling)."""
+        """Counters accumulated since ``earlier`` (window sampling).
+
+        Per-core dictionaries are differenced like every other counter;
+        cores with no activity inside the window are omitted, matching
+        what :meth:`note_access` would have recorded during the window.
+        """
         return CacheStats(
             accesses=self.accesses - earlier.accesses,
             hits=self.hits - earlier.hits,
@@ -118,4 +191,8 @@ class CacheStats:
             evictions=self.evictions - earlier.evictions,
             prefetches=self.prefetches - earlier.prefetches,
             prefetch_hits=self.prefetch_hits - earlier.prefetch_hits,
+            per_core_accesses=_dict_delta(
+                self.per_core_accesses, earlier.per_core_accesses
+            ),
+            per_core_misses=_dict_delta(self.per_core_misses, earlier.per_core_misses),
         )

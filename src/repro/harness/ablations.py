@@ -160,8 +160,14 @@ def quantum_ablation(
     return results
 
 
-def main() -> None:
-    """Print all four ablation tables."""
+def main(jobs: int | None = None) -> None:
+    """Print all four ablation tables.
+
+    ``jobs`` is accepted for runner uniformity; each ablation replays
+    stateful simulations whose points build on shared cache state, so
+    there is no independent grid to fan out.
+    """
+    del jobs
     print(
         render_table(
             ["Policy", "miss ratio"],

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.experiment import ALL_CMPS, CMPConfig
+from repro.harness.parallel import parallel_map
 from repro.harness.report import render_table
 from repro.perf.bandwidth import BusModel
 from repro.perf.cpi import cpi_stack
@@ -31,36 +32,42 @@ class BandwidthRow:
     bus_utilization: float
 
 
+def _bandwidth_row(task: tuple[str, CMPConfig, int, BusModel]) -> BandwidthRow:
+    """One (workload × CMP) bandwidth point (picklable task)."""
+    name, cmp_config, llc_size, bus = task
+    model = memory_model(name)
+    mpki = model.llc_mpki(llc_size, 64, cmp_config.cores)
+    cpi = cpi_stack(name, model.dl1_mpki(), model.dl2_mpki()).total
+    demand = bus.demand_bandwidth(mpki, cpi, cmp_config.cores)
+    return BandwidthRow(
+        workload=name,
+        cmp_name=cmp_config.name,
+        cores=cmp_config.cores,
+        llc_mpki=mpki,
+        demand_gb_per_s=demand / 1e9,
+        bus_utilization=bus.utilization(mpki, cpi, cmp_config.cores),
+    )
+
+
 def generate(
     llc_size: int = 32 * MB,
     bus: BusModel | None = None,
     cmps: tuple[CMPConfig, ...] = ALL_CMPS,
+    jobs: int | None = None,
 ) -> list[BandwidthRow]:
     """Demand bandwidth of each workload at a 32 MB LLC on each CMP."""
     bus = bus or BusModel()
-    rows: list[BandwidthRow] = []
-    for cmp_config in cmps:
-        for name in WORKLOAD_NAMES:
-            model = memory_model(name)
-            mpki = model.llc_mpki(llc_size, 64, cmp_config.cores)
-            cpi = cpi_stack(name, model.dl1_mpki(), model.dl2_mpki()).total
-            demand = bus.demand_bandwidth(mpki, cpi, cmp_config.cores)
-            rows.append(
-                BandwidthRow(
-                    workload=name,
-                    cmp_name=cmp_config.name,
-                    cores=cmp_config.cores,
-                    llc_mpki=mpki,
-                    demand_gb_per_s=demand / 1e9,
-                    bus_utilization=bus.utilization(mpki, cpi, cmp_config.cores),
-                )
-            )
-    return rows
+    tasks = [
+        (name, cmp_config, llc_size, bus)
+        for cmp_config in cmps
+        for name in WORKLOAD_NAMES
+    ]
+    return parallel_map(_bandwidth_row, tasks, jobs=jobs)
 
 
-def main() -> None:
+def main(jobs: int | None = None) -> None:
     """Print per-CMP bandwidth-demand tables."""
-    rows = generate()
+    rows = generate(jobs=jobs)
     by_cmp: dict[str, list[BandwidthRow]] = {}
     for row in rows:
         by_cmp.setdefault(row.cmp_name, []).append(row)

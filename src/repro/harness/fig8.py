@@ -25,17 +25,19 @@ class Fig8Row:
         return self.parallel.speedup_percent > self.serial.speedup_percent
 
 
-def generate() -> list[Fig8Row]:
+def generate(jobs: int | None = None) -> list[Fig8Row]:
     """Compute the Figure 8 data (serial + 16-thread gains)."""
     return [
         Fig8Row(workload=name, serial=serial, parallel=parallel)
-        for name, (serial, parallel) in prefetch_study(threads_parallel=16).items()
+        for name, (serial, parallel) in prefetch_study(
+            threads_parallel=16, jobs=jobs
+        ).items()
     ]
 
 
-def main() -> None:
+def main(jobs: int | None = None) -> None:
     """Print the Figure 8 prefetch-gain table."""
-    rows = generate()
+    rows = generate(jobs=jobs)
     print(
         render_table(
             ["Workload", "Serial gain", "16-thread gain", "Coverage", "16T headroom", "Bigger winner"],

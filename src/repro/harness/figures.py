@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.experiment import CMPConfig, cache_size_sweep, line_size_sweep, working_set_knee
+from repro.core.experiment import CMPConfig, working_set_knee
+from repro.harness.parallel import parallel_map
 from repro.harness.report import render_series_table
 from repro.units import MB, PAPER_CACHE_SWEEP, PAPER_LINE_SWEEP, format_size
 from repro.workloads.profiles import WORKLOAD_NAMES, memory_model
@@ -29,15 +30,40 @@ class SweepFigure:
         )
 
 
-def cache_sweep_figure(cmp_config: CMPConfig, figure_number: int) -> SweepFigure:
+def _mpki_point(point: tuple[str, int, int, int]) -> float:
+    """One (workload × geometry) grid point; module-level so it pickles."""
+    name, threads, cache_size, line_size = point
+    return memory_model(name).llc_mpki(cache_size, line_size, threads)
+
+
+def _sweep_series(
+    axis_values: tuple[int, ...],
+    points: list[tuple[str, int, int, int]],
+    jobs: int | None,
+) -> dict[str, tuple[float, ...]]:
+    """Fan the grid out and regroup the flat results by workload."""
+    values = parallel_map(_mpki_point, points, jobs=jobs)
+    width = len(axis_values)
+    return {
+        name: tuple(values[i * width : (i + 1) * width])
+        for i, name in enumerate(WORKLOAD_NAMES)
+    }
+
+
+def cache_sweep_figure(
+    cmp_config: CMPConfig, figure_number: int, jobs: int | None = None
+) -> SweepFigure:
     """Figures 4-6: LLC MPKI versus cache size on one CMP."""
-    series: dict[str, tuple[float, ...]] = {}
-    knees: dict[str, int | None] = {}
-    for name in WORKLOAD_NAMES:
-        model = memory_model(name)
-        sweep = cache_size_sweep(model, cmp_config, PAPER_CACHE_SWEEP)
-        series[name] = tuple(mpki for _, mpki in sweep)
-        knees[name] = working_set_knee(sweep)
+    points = [
+        (name, cmp_config.threads, size, 64)
+        for name in WORKLOAD_NAMES
+        for size in PAPER_CACHE_SWEEP
+    ]
+    series = _sweep_series(PAPER_CACHE_SWEEP, points, jobs)
+    knees = {
+        name: working_set_knee(list(zip(PAPER_CACHE_SWEEP, values)))
+        for name, values in series.items()
+    }
     return SweepFigure(
         title=(
             f"Figure {figure_number}: LLC misses per 1000 instructions on "
@@ -50,13 +76,16 @@ def cache_sweep_figure(cmp_config: CMPConfig, figure_number: int) -> SweepFigure
     )
 
 
-def line_sweep_figure(cmp_config: CMPConfig, cache_size: int = 32 * MB) -> SweepFigure:
+def line_sweep_figure(
+    cmp_config: CMPConfig, cache_size: int = 32 * MB, jobs: int | None = None
+) -> SweepFigure:
     """Figure 7: LLC MPKI versus line size at a 32 MB LLC on the LCMP."""
-    series: dict[str, tuple[float, ...]] = {}
-    for name in WORKLOAD_NAMES:
-        model = memory_model(name)
-        sweep = line_size_sweep(model, cmp_config, cache_size, PAPER_LINE_SWEEP)
-        series[name] = tuple(mpki for _, mpki in sweep)
+    points = [
+        (name, cmp_config.threads, cache_size, line)
+        for name in WORKLOAD_NAMES
+        for line in PAPER_LINE_SWEEP
+    ]
+    series = _sweep_series(PAPER_LINE_SWEEP, points, jobs)
     return SweepFigure(
         title=(
             f"Figure 7: line-size sensitivity on {cmp_config.name} with a "

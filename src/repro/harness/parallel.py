@@ -1,0 +1,62 @@
+"""Deterministic process-parallel execution of sweep grids.
+
+Every figure harness is a map over an embarrassingly parallel grid —
+(workload × cache size), (workload × line size), (workload × CMP) —
+whose points never share state.  This module fans such grids out over
+a :class:`~concurrent.futures.ProcessPoolExecutor` while keeping the
+one property the harness must not lose: **the output is byte-identical
+to a serial run**.  That holds because
+
+* ``ProcessPoolExecutor.map`` returns results in submission order, no
+  matter which worker finishes first, and
+* every task is a pure function of its (picklable) argument tuple, so
+  a point computes the same value in any process.
+
+``repro-runall --jobs N`` threads the worker count down through every
+exhibit's ``main(jobs=...)``; ``jobs=None`` (the default everywhere)
+means serial, which keeps single-exhibit programmatic use and the test
+suite free of process-pool overhead, and ``--jobs 0`` asks for one
+worker per CPU.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_jobs() -> int:
+    """One worker per CPU (what ``--jobs 0`` resolves to)."""
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: None → 1 (serial), 0 → all CPUs."""
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return default_jobs()
+    return jobs
+
+
+def parallel_map(
+    task: Callable[[T], R], items: Iterable[T], jobs: int | None = None
+) -> list[R]:
+    """Map ``task`` over ``items``, optionally across worker processes.
+
+    Results always come back in item order (the determinism contract);
+    with fewer than two effective workers, or fewer than two items, the
+    map runs inline with no pool.  ``task`` must be a module-level
+    function and every item picklable, because both cross a process
+    boundary when ``jobs`` asks for real parallelism.
+    """
+    work = list(items)
+    workers = min(resolve_jobs(jobs), len(work))
+    if workers <= 1:
+        return [task(item) for item in work]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(task, work))

@@ -20,8 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.experiment import XLCMP
+from repro.harness.parallel import parallel_map
 from repro.harness.report import render_table
-from repro.perf.dramcache import DramCacheResult, dram_cache_study
+from repro.perf.dramcache import DramCacheResult, evaluate_dram_cache
 from repro.units import format_size
 from repro.workloads.profiles import CATEGORIES, WORKLOAD_NAMES, memory_model
 
@@ -42,23 +43,27 @@ class ProjectionRow:
         return self.dram.benefits
 
 
-def generate(threads: int = 128) -> list[ProjectionRow]:
+def _projection_row(task: tuple[str, int]) -> ProjectionRow:
+    """One workload's 128-core projection (picklable task)."""
+    name, threads = task
+    return ProjectionRow(
+        workload=name,
+        category=CATEGORIES[name],
+        footprint_128=memory_model(name).footprint_bytes(threads),
+        dram=evaluate_dram_cache(name, threads),
+    )
+
+
+def generate(threads: int = 128, jobs: int | None = None) -> list[ProjectionRow]:
     """Project every workload to ``threads`` cores."""
-    study = {r.workload: r for r in dram_cache_study(threads)}
-    return [
-        ProjectionRow(
-            workload=name,
-            category=CATEGORIES[name],
-            footprint_128=memory_model(name).footprint_bytes(threads),
-            dram=study[name],
-        )
-        for name in WORKLOAD_NAMES
-    ]
+    return parallel_map(
+        _projection_row, [(name, threads) for name in WORKLOAD_NAMES], jobs=jobs
+    )
 
 
-def main() -> None:
+def main(jobs: int | None = None) -> None:
     """Print the 128-core projection table and verdict."""
-    rows = generate()
+    rows = generate(jobs=jobs)
     print(
         render_table(
             [

@@ -4,7 +4,9 @@
 sequence — the exact content EXPERIMENTS.md records.  ``--extended``
 adds the repository's own studies (the 128-core projection, the model
 ablations, the bandwidth demand table); ``--csv DIR`` also writes every
-exhibit as CSV for downstream analysis.
+exhibit as CSV for downstream analysis; ``--jobs N`` fans the sweep
+grids out over N worker processes (``0`` = one per CPU) with output
+byte-identical to the serial run — see :mod:`repro.harness.parallel`.
 """
 
 from __future__ import annotations
@@ -41,11 +43,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--csv", metavar="DIR", help="write every exhibit as CSV into DIR"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sweep grids (default: serial; "
+        "0 means one per CPU); output is byte-identical to a serial run",
+    )
     args = parser.parse_args(argv)
 
     exhibits = PAPER_EXHIBITS + (EXTENDED_EXHIBITS if args.extended else ())
     for exhibit in exhibits:
-        exhibit.main()
+        exhibit.main(jobs=args.jobs)
         print()
     if args.csv:
         from repro.harness.export import export_all

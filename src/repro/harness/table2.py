@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.harness.parallel import parallel_map
 from repro.harness.report import render_table
 from repro.perf.cpi import predicted_ipc
 from repro.workloads.profiles import PAPER_TABLE2, WORKLOAD_NAMES, memory_model
@@ -33,35 +34,35 @@ class Table2Comparison:
     dl2_mpki_model: float
 
 
-def generate() -> list[Table2Comparison]:
+def _comparison_row(name: str) -> Table2Comparison:
+    """One workload's paper-versus-model row (picklable task)."""
+    paper = PAPER_TABLE2[name]
+    model = memory_model(name)
+    dl1 = model.dl1_mpki()
+    dl2 = model.dl2_mpki()
+    return Table2Comparison(
+        workload=name,
+        ipc_paper=paper.ipc,
+        ipc_model=predicted_ipc(name, dl1, dl2),
+        instructions_billions=paper.instructions_billions,
+        mem_pct_paper=paper.mem_instruction_pct,
+        mem_read_pct_paper=paper.mem_read_pct,
+        dl1_accesses_model=model.apki,
+        dl1_mpki_paper=paper.dl1_mpki,
+        dl1_mpki_model=dl1,
+        dl2_mpki_paper=paper.dl2_mpki,
+        dl2_mpki_model=dl2,
+    )
+
+
+def generate(jobs: int | None = None) -> list[Table2Comparison]:
     """Compute the Table 2 reproduction for all eight workloads."""
-    rows: list[Table2Comparison] = []
-    for name in WORKLOAD_NAMES:
-        paper = PAPER_TABLE2[name]
-        model = memory_model(name)
-        dl1 = model.dl1_mpki()
-        dl2 = model.dl2_mpki()
-        rows.append(
-            Table2Comparison(
-                workload=name,
-                ipc_paper=paper.ipc,
-                ipc_model=predicted_ipc(name, dl1, dl2),
-                instructions_billions=paper.instructions_billions,
-                mem_pct_paper=paper.mem_instruction_pct,
-                mem_read_pct_paper=paper.mem_read_pct,
-                dl1_accesses_model=model.apki,
-                dl1_mpki_paper=paper.dl1_mpki,
-                dl1_mpki_model=dl1,
-                dl2_mpki_paper=paper.dl2_mpki,
-                dl2_mpki_model=dl2,
-            )
-        )
-    return rows
+    return parallel_map(_comparison_row, WORKLOAD_NAMES, jobs=jobs)
 
 
-def main() -> None:
+def main(jobs: int | None = None) -> None:
     """Print the Table 2 paper-versus-model comparison."""
-    rows = generate()
+    rows = generate(jobs=jobs)
     print(
         render_table(
             [

@@ -66,6 +66,44 @@ class TestCacheStats:
         assert delta.accesses == 2
         assert delta.misses == 1
 
+    def test_delta_preserves_per_core_counters(self):
+        """Regression: delta used to drop the per-core dictionaries."""
+        stats = self.make()
+        earlier = stats.snapshot()
+        stats.note_access(core=0, is_read=True, hit=False)
+        stats.note_access(core=2, is_read=True, hit=True)
+        stats.note_access(core=2, is_read=False, hit=False)
+        delta = stats.delta(earlier)
+        assert delta.per_core_accesses == {0: 1, 2: 2}
+        assert delta.per_core_misses == {0: 1, 2: 1}
+        # Core 1 was active before the window but not inside it, so it
+        # must be omitted — the same dict note_access would have built.
+        assert 1 not in delta.per_core_accesses
+
+    def test_note_batch_matches_note_access(self):
+        """The vectorized accounting equals the per-access accounting."""
+        import numpy as np
+
+        kinds = np.array([0, 1, 0, 0, 1, 0], dtype=np.uint8)
+        cores = np.array([0, 0, 1, 2, 1, 0], dtype=np.uint16)
+        hits = np.array([True, False, False, True, True, False])
+        batched = CacheStats()
+        batched.note_batch(kinds, cores, hits)
+        reference = CacheStats()
+        for kind, core, hit in zip(kinds, cores, hits):
+            reference.note_access(int(core), int(kind) == 0, bool(hit))
+        assert batched == reference
+
+    def test_note_batch_scalar_core(self):
+        import numpy as np
+
+        kinds = np.array([0, 0, 1], dtype=np.uint8)
+        hits = np.array([False, True, False])
+        stats = CacheStats()
+        stats.note_batch(kinds, 3, hits)
+        assert stats.per_core_accesses == {3: 3}
+        assert stats.per_core_misses == {3: 2}
+
 
 class TestWindowSampler:
     def make(self) -> tuple[WindowSampler, CacheStats]:
