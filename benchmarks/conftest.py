@@ -3,4 +3,64 @@
 Every benchmark regenerates one of the paper's exhibits (or an ablation)
 and asserts its key shape property, so ``pytest benchmarks/
 --benchmark-only`` doubles as the reproduction's acceptance run.
+
+This conftest also gives the suite a perf trajectory: benchmarks that
+measure the engine itself record their numbers through the
+``bench_record`` fixture, and at session end everything recorded lands
+in ``BENCH_cosim.json`` next to the repository root — machine-stamped,
+so runs on different hosts are never compared as if they were equal.
+CI uploads the file as a build artifact.
 """
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+#: Where the emitted results land (repo root; git-ignored).
+BENCH_RESULT_NAME = "BENCH_cosim.json"
+
+_RESULTS: dict[str, dict] = {}
+
+
+def _machine_stamp() -> dict:
+    return {
+        "hostname": platform.node(),
+        "machine": platform.machine(),
+        "system": f"{platform.system()} {platform.release()}",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
+@pytest.fixture
+def bench_record():
+    """Record one benchmark's results for the BENCH_cosim.json emitter.
+
+    Usage: ``bench_record("replay_engine", speedup=5.8, ...)``.  Values
+    must be JSON-serializable; later records under the same name merge
+    over earlier ones.
+    """
+
+    def record(name: str, **values) -> None:
+        _RESULTS.setdefault(name, {}).update(values)
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RESULTS:
+        return
+    path = Path(__file__).resolve().parent.parent / BENCH_RESULT_NAME
+    payload = {"machine": _machine_stamp(), "results": _RESULTS}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,106 @@
+"""Benchmarks: the multi-config replay engine vs the per-config loop.
+
+The engine's acceptance bar: a ≥7-configuration cache-size sweep
+through :func:`repro.harness.replay.replay_sweep` must beat the pre-PR
+per-config loop (``cosim_cache_sweep``: one full simulator pass per
+size) by ≥5x wall-clock.  The measured ratio — plus the engine's
+capture/replay throughput — is recorded into ``BENCH_cosim.json`` by
+the emitter in ``conftest.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.cosim import CoSimPlatform, cosim_cache_sweep
+from repro.harness.replay import capture_replay_log, replay, size_sweep_configs
+from repro.trace.cache import TraceCache
+from repro.units import MB
+from repro.workloads.registry import get_workload
+
+#: Eight doubling sizes, 1 MB-128 MB — the Figure 4-6 style design
+#: space (and ≥7 configurations, per the acceptance criterion).
+SWEEP_SIZES = [(1 << i) * MB for i in range(8)]
+
+WORKLOAD = "FIMI"
+CORES = 4
+
+
+def _run_baseline() -> float:
+    guest = get_workload(WORKLOAD).kernel_guest()
+    start = time.perf_counter()
+    cosim_cache_sweep(guest, CORES, SWEEP_SIZES)
+    return time.perf_counter() - start
+
+
+def _run_engine() -> tuple[float, int]:
+    guest = get_workload(WORKLOAD).kernel_guest()
+    configs = size_sweep_configs(SWEEP_SIZES)
+    start = time.perf_counter()
+    log = capture_replay_log(guest, CORES)
+    for config in configs:
+        replay(log, config)
+    return time.perf_counter() - start, log.accesses
+
+
+def test_replay_engine_speedup_over_per_config_loop(bench_record):
+    """The tentpole bar: ≥5x on a ≥7-point cache-size sweep.
+
+    Both sides run the same workload, cores, and sizes; best-of-3
+    timings on each side keep scheduler noise out of the ratio.  The
+    equivalence of the two result sets is proven field-for-field by
+    ``tests/test_harness_replay.py`` — this test measures only time.
+    """
+    engine_time, accesses = min(_run_engine() for _ in range(3))
+    baseline_time = min(_run_baseline() for _ in range(3))
+    speedup = baseline_time / engine_time
+    bench_record(
+        "replay_engine",
+        workload=WORKLOAD,
+        cores=CORES,
+        configs=len(SWEEP_SIZES),
+        accesses_per_pass=accesses,
+        baseline_seconds=round(baseline_time, 4),
+        engine_seconds=round(engine_time, 4),
+        speedup=round(speedup, 2),
+    )
+    assert speedup >= 5.0, (
+        f"replay engine speedup {speedup:.2f}x < 5x "
+        f"(baseline {baseline_time:.3f}s, engine {engine_time:.3f}s)"
+    )
+
+
+def test_warm_trace_cache_sweep(tmp_path, bench_record):
+    """With a warm cache the sweep skips generation entirely."""
+    cache = TraceCache(tmp_path)
+    from repro.harness.replay import replay_sweep
+
+    guest = get_workload(WORKLOAD).kernel_guest()
+    configs = size_sweep_configs(SWEEP_SIZES)
+    replay_sweep(guest, CORES, configs, trace_cache=cache)  # populate
+    assert cache.stats.stores == 1
+
+    start = time.perf_counter()
+    warm = replay_sweep(
+        get_workload(WORKLOAD).kernel_guest(), CORES, configs, trace_cache=cache
+    )
+    warm_time = time.perf_counter() - start
+    assert cache.stats.hits == 1
+    assert len(warm) == len(configs)
+    bench_record("replay_engine", warm_sweep_seconds=round(warm_time, 4))
+
+
+def test_cosim_end_to_end_rate(bench_record):
+    """Record the plain single-config co-simulation rate for context."""
+    guest = get_workload(WORKLOAD).kernel_guest()
+    start = time.perf_counter()
+    result = CoSimPlatform(size_sweep_configs([4 * MB])[0]).run(guest, CORES)
+    elapsed = time.perf_counter() - start
+    bench_record(
+        "cosim_throughput",
+        workload=WORKLOAD,
+        cores=CORES,
+        accesses=result.accesses,
+        accesses_per_second=round(result.accesses / elapsed),
+    )
+    assert result.accesses > 0

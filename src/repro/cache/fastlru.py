@@ -105,14 +105,19 @@ class FastLRUKernel(ReplacementPolicy):
         self._set_factory = (
             OrderedDict if associativity > _ORDERED_SET_MIN_ASSOC else dict
         )
-        self._sets: list[dict[int, None]] = [
-            self._set_factory() for _ in range(num_sets)
-        ]
+        # Per-set dicts are allocated lazily on first touch: a design-
+        # space sweep replays one short trace through many large
+        # geometries, and eagerly building (say) 16 k dicts per 64 MB
+        # bank costs more than the replay itself.  ``None`` marks a
+        # never-touched (empty) set.
+        self._sets: list[dict[int, None] | None] = [None] * num_sets
 
     # -- scalar path (ReplacementPolicy interface) ----------------------
 
     def lookup(self, set_index: int, tag: int) -> tuple[bool, int | None]:
         ways = self._sets[set_index]
+        if ways is None:
+            ways = self._sets[set_index] = self._set_factory()
         if tag in ways:
             del ways[tag]
             ways[tag] = None
@@ -125,21 +130,23 @@ class FastLRUKernel(ReplacementPolicy):
         return False, None
 
     def contains(self, set_index: int, tag: int) -> bool:
-        return tag in self._sets[set_index]
+        ways = self._sets[set_index]
+        return ways is not None and tag in ways
 
     def invalidate(self, set_index: int, tag: int) -> bool:
         ways = self._sets[set_index]
-        if tag in ways:
+        if ways is not None and tag in ways:
             del ways[tag]
             return True
         return False
 
     def flush(self) -> None:
-        self._sets = [self._set_factory() for _ in range(self.num_sets)]
+        self._sets = [None] * self.num_sets
 
     def resident_tags(self, set_index: int) -> list[int]:
         """LRU→MRU tags of one set (same contract as ``LRUPolicy``)."""
-        return list(self._sets[set_index])
+        ways = self._sets[set_index]
+        return [] if ways is None else list(ways)
 
     # -- batched path ---------------------------------------------------
 
@@ -196,6 +203,8 @@ class FastLRUKernel(ReplacementPolicy):
                 pairs = zip(set_arr.tolist(), tag_list)
             for set_index, tag in pairs:
                 ways = sets[set_index]
+                if ways is None:
+                    ways = sets[set_index] = self._set_factory()
                 if tag in ways:
                     del ways[tag]
                     ways[tag] = None
@@ -222,6 +231,8 @@ class FastLRUKernel(ReplacementPolicy):
             return BatchResult(hits=hit_arr, evictions=evictions, victims=victim_arr)
         if set_arr is None:
             ways = sets[0]
+            if ways is None:
+                ways = sets[0] = self._set_factory()
             for tag in tag_list:
                 if tag in ways:
                     del ways[tag]
@@ -236,6 +247,8 @@ class FastLRUKernel(ReplacementPolicy):
         else:
             for set_index, tag in zip(set_arr.tolist(), tag_list):
                 ways = sets[set_index]
+                if ways is None:
+                    ways = sets[set_index] = self._set_factory()
                 if tag in ways:
                     del ways[tag]
                     ways[tag] = None
@@ -272,13 +285,13 @@ class FastLRUKernel(ReplacementPolicy):
         """
         matrix = np.full((self.num_sets, self.associativity), EMPTY_WAY, dtype=np.int64)
         for set_index, ways in enumerate(self._sets):
-            n = len(ways)
+            n = 0 if ways is None else len(ways)
             if n:
                 matrix[set_index, :n] = np.arange(n, dtype=np.int64)
         return matrix
 
     def __repr__(self) -> str:
-        resident = sum(len(ways) for ways in self._sets)
+        resident = sum(len(ways) for ways in self._sets if ways is not None)
         return (
             f"FastLRUKernel(sets={self.num_sets}, assoc={self.associativity}, "
             f"resident={resident})"

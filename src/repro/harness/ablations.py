@@ -21,10 +21,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cache.cache import CacheConfig, SetAssociativeCache
 from repro.cache.emulator import DragonheadConfig
-from repro.core.cosim import CoSimPlatform
+from repro.harness.replay import load_or_capture, replay
 from repro.harness.report import render_table
+from repro.trace.cache import TraceCache, cache_key
+from repro.trace.record import TraceChunk
 from repro.units import MB, format_size
 from repro.workloads.profiles import memory_model
 from repro.workloads.registry import get_workload
@@ -38,16 +42,58 @@ class PolicyResult:
     miss_ratio: float
 
 
+def _policy_trace(
+    workload_name: str,
+    accesses: int,
+    scale: float,
+    trace_cache: TraceCache | None,
+) -> TraceChunk:
+    """The policy ablation's single-thread synthetic trace, cached."""
+    if trace_cache is not None:
+        key = cache_key(
+            {
+                "kind": "synthetic-thread-trace",
+                "workload": workload_name,
+                "thread": 0,
+                "threads": 1,
+                "accesses": accesses,
+                "scale": scale,
+            }
+        )
+        payload = trace_cache.load(key)
+        if payload is not None:
+            _, arrays = payload
+            return TraceChunk(
+                np.asarray(arrays["addresses"]),
+                np.asarray(arrays["kinds"]),
+                np.asarray(arrays["cores"]),
+                np.asarray(arrays["pcs"]),
+            )
+    trace = get_workload(workload_name).synthetic_thread_trace(0, 1, accesses, scale)
+    if trace_cache is not None:
+        trace_cache.store(
+            key,
+            {"workload": workload_name, "accesses": accesses, "scale": scale},
+            {
+                "addresses": trace.addresses,
+                "kinds": trace.kinds,
+                "cores": trace.cores,
+                "pcs": trace.pcs,
+            },
+        )
+    return trace
+
+
 def replacement_policy_ablation(
     workload_name: str = "FIMI",
     cache_size: int = 1 * MB,
     associativity: int = 8,
     accesses: int = 60_000,
     scale: float = 1 / 16,
+    trace_cache: TraceCache | None = None,
 ) -> list[PolicyResult]:
     """Miss ratios of one workload's FSB traffic under each policy."""
-    workload = get_workload(workload_name)
-    trace = workload.synthetic_thread_trace(0, 1, accesses, scale)
+    trace = _policy_trace(workload_name, accesses, scale, trace_cache)
     results = []
     for policy in POLICIES:
         cache = SetAssociativeCache(
@@ -123,6 +169,7 @@ def quantum_ablation(
     region_bytes: int = 768 * 1024,
     passes: int = 8,
     quanta: tuple[int, ...] = (1024, 8192, 65536),
+    trace_cache: TraceCache | None = None,
 ) -> list[QuantumResult]:
     """Exact-path MPKI of a slice-residency microbenchmark across quanta.
 
@@ -132,6 +179,10 @@ def quantum_ablation(
     evict each other — every access misses.  Once the quantum exceeds a
     full scan, re-scans within a slice hit: the physical basis of the
     model's slice-resident rule.
+
+    The quantum is part of the DEX schedule, so each quantum needs its
+    own simulator pass; runs go through the replay engine anyway so a
+    warm ``trace_cache`` skips all of them on repeat invocations.
     """
     from repro.core.softsdv import GuestWorkload
     from repro.trace.generators import Region, cyclic_scan
@@ -150,28 +201,38 @@ def quantum_ablation(
         ]
 
     guest = GuestWorkload("slice-residency", thread_streams)
+    key_extra = {"region_bytes": region_bytes, "passes": passes}
     results = []
     for quantum in quanta:
-        platform = CoSimPlatform(
-            DragonheadConfig(cache_size=cache_size), quantum=quantum
+        log, _ = load_or_capture(
+            guest,
+            cores,
+            quantum=quantum,
+            trace_cache=trace_cache,
+            key_extra=key_extra,
         )
-        outcome = platform.run(guest, cores=cores)
+        outcome = replay(log, DragonheadConfig(cache_size=cache_size))
         results.append(QuantumResult(quantum=quantum, mpki=outcome.mpki))
     return results
 
 
-def main(jobs: int | None = None) -> None:
+def main(jobs: int | None = None, trace_cache: TraceCache | None = None) -> None:
     """Print all four ablation tables.
 
     ``jobs`` is accepted for runner uniformity; each ablation replays
     stateful simulations whose points build on shared cache state, so
-    there is no independent grid to fan out.
+    there is no independent grid to fan out.  ``trace_cache`` lets the
+    exact-path ablations (1 and 4) reuse their captured traffic across
+    invocations.
     """
     del jobs
     print(
         render_table(
             ["Policy", "miss ratio"],
-            [(r.policy.upper(), f"{r.miss_ratio:.4f}") for r in replacement_policy_ablation()],
+            [
+                (r.policy.upper(), f"{r.miss_ratio:.4f}")
+                for r in replacement_policy_ablation(trace_cache=trace_cache)
+            ],
             title="Ablation 1: replacement policy (FIMI FSB traffic, 1MB, 8-way)",
         )
     )
@@ -198,7 +259,10 @@ def main(jobs: int | None = None) -> None:
     print(
         render_table(
             ["DEX quantum", "exact-path MPKI"],
-            [(str(r.quantum), f"{r.mpki:.2f}") for r in quantum_ablation()],
+            [
+                (str(r.quantum), f"{r.mpki:.2f}")
+                for r in quantum_ablation(trace_cache=trace_cache)
+            ],
             title="Ablation 4: DEX scheduling quantum (4x768KB private scans, 1MB LLC)",
         )
     )

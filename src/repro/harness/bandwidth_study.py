@@ -12,6 +12,7 @@ study.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.experiment import ALL_CMPS, CMPConfig
 from repro.harness.parallel import parallel_map
@@ -20,6 +21,9 @@ from repro.perf.bandwidth import BusModel
 from repro.perf.cpi import cpi_stack
 from repro.units import MB
 from repro.workloads.profiles import WORKLOAD_NAMES, memory_model
+
+if TYPE_CHECKING:
+    from repro.trace.cache import TraceCache
 
 
 @dataclass(frozen=True)
@@ -65,7 +69,45 @@ def generate(
     return parallel_map(_bandwidth_row, tasks, jobs=jobs)
 
 
-def main(jobs: int | None = None) -> None:
+def measured_demand(
+    workload_name: str = "FIMI",
+    cores: int = 4,
+    cache_sizes: tuple[int, ...] = (4 * MB, 32 * MB),
+    bus: BusModel | None = None,
+    trace_cache: "TraceCache | None" = None,
+) -> list[tuple[int, float, float]]:
+    """Exact-path demand bandwidth: (LLC size, MPKI, GB/s) per size.
+
+    The model path above projects bandwidth from calibrated MPKI
+    curves; this cross-check measures MPKI by running the instrumented
+    kernel through the replay engine — one captured trace, one emulator
+    pass per LLC size — and feeds the measured rate through the same
+    :class:`BusModel`.
+    """
+    from repro.harness.replay import replay_sweep, size_sweep_configs
+    from repro.workloads.registry import get_workload
+
+    bus = bus or BusModel()
+    workload = get_workload(workload_name)
+    results = replay_sweep(
+        workload.kernel_guest(),
+        cores,
+        size_sweep_configs(list(cache_sizes)),
+        trace_cache=trace_cache,
+        key_extra={"source": "kernel"},
+    )
+    cpi = cpi_stack(
+        workload_name,
+        memory_model(workload_name).dl1_mpki(),
+        memory_model(workload_name).dl2_mpki(),
+    ).total
+    return [
+        (size, result.mpki, bus.demand_bandwidth(result.mpki, cpi, cores) / 1e9)
+        for size, result in zip(cache_sizes, results)
+    ]
+
+
+def main(jobs: int | None = None, trace_cache: "TraceCache | None" = None) -> None:
     """Print per-CMP bandwidth-demand tables."""
     rows = generate(jobs=jobs)
     by_cmp: dict[str, list[BandwidthRow]] = {}
@@ -97,6 +139,18 @@ def main(jobs: int | None = None) -> None:
         f"({heaviest.demand_gb_per_s:.1f} GB/s) — the workloads driving the "
         "paper's call for DRAM caches to 'reduce the latency and bandwidth "
         "to main memory'."
+    )
+    print()
+    measured = measured_demand(trace_cache=trace_cache)
+    print(
+        render_table(
+            ["LLC size", "measured MPKI", "demand GB/s"],
+            [
+                (f"{size // MB}MB", f"{mpki:.2f}", f"{gb_per_s:.2f}")
+                for size, mpki, gb_per_s in measured
+            ],
+            title="Exact-path cross-check: FIMI kernel on 4 cores (replay engine)",
+        )
     )
 
 

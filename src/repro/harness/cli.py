@@ -5,9 +5,20 @@ count, a Dragonhead configuration, and a trace source, and get the
 instruction-synchronized cache statistics plus the phase analysis —
 the same readout the paper's host computer produced.
 
+Runs go through the multi-config replay engine
+(:mod:`repro.harness.replay`): the simulator side executes once and the
+captured log is replayed per configuration, so ``--cache`` accepts a
+comma-separated sweep (``--cache 1MB,4MB,16MB``) that costs one
+generation pass.  With ``--trace-cache DIR`` (or the
+``REPRO_TRACE_CACHE`` environment variable) the captured log persists
+across invocations: a warm second run performs zero trace generation,
+which the printed ``trace cache:`` counter line makes observable.
+
 Examples::
 
     repro-cosim --workload FIMI --cores 4 --cache 4MB
+    repro-cosim --workload FIMI --cores 4 --cache 1MB,4MB,16MB,64MB \\
+                --trace-cache ~/.cache/repro-traces --jobs 4
     repro-cosim --workload SHOT --cores 8 --cache 2MB --line 256 \\
                 --source synthetic --accesses 50000 --scale 0.0625
 """
@@ -18,8 +29,9 @@ import argparse
 from fractions import Fraction
 
 from repro.cache.emulator import DragonheadConfig
-from repro.core.cosim import CoSimPlatform
 from repro.core.phases import phase_summary
+from repro.harness.replay import replay_sweep
+from repro.trace.cache import resolve_trace_cache
 from repro.units import format_size, parse_size
 from repro.workloads.profiles import WORKLOAD_NAMES
 from repro.workloads.registry import get_workload
@@ -37,7 +49,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--cores", type=int, default=4, help="virtual cores (1-64)")
     parser.add_argument(
-        "--cache", default="4MB", help="Dragonhead LLC size (1MB-256MB), e.g. 32MB"
+        "--cache",
+        default="4MB",
+        help="Dragonhead LLC size (1MB-256MB), e.g. 32MB; a comma-"
+        "separated list sweeps every size over one captured trace",
     )
     parser.add_argument(
         "--line", type=int, default=64, help="cache line size in bytes (64-4096)"
@@ -61,41 +76,89 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--phases", action="store_true", help="print the phase analysis of the run"
     )
+    parser.add_argument(
+        "--trace-cache",
+        metavar="DIR",
+        default=None,
+        help="persist captured traces under DIR and reuse them across "
+        "invocations (default: $REPRO_TRACE_CACHE; 'off' disables)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for a multi-size sweep (0 = one per CPU)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Run one co-simulation and print its readout."""
+    """Run one co-simulation (or a cache-size sweep) and print its readout."""
     args = build_parser().parse_args(argv)
     workload = get_workload(args.workload)
-    config = DragonheadConfig(cache_size=parse_size(args.cache), line_size=args.line)
-    platform = CoSimPlatform(config, quantum=args.quantum)
+    sizes = [parse_size(token) for token in args.cache.split(",") if token.strip()]
+    configs = [
+        DragonheadConfig(cache_size=size, line_size=args.line) for size in sizes
+    ]
     if args.source == "kernel":
         guest = workload.kernel_guest()
+        key_extra = {"source": "kernel"}
     else:
         guest = workload.synthetic_guest(
             accesses_per_thread=args.accesses, scale=float(args.scale)
         )
-    result = platform.run(guest, cores=args.cores)
+        key_extra = {
+            "source": "synthetic",
+            "accesses": args.accesses,
+            "scale": str(args.scale),
+        }
+    trace_cache = resolve_trace_cache(args.trace_cache)
+    results = replay_sweep(
+        guest,
+        args.cores,
+        configs,
+        quantum=args.quantum,
+        jobs=args.jobs,
+        trace_cache=trace_cache,
+        key_extra=key_extra,
+    )
 
     print(f"{workload.name} on {args.cores} cores — {workload.description}")
-    print(f"Dragonhead: {format_size(config.cache_size)}, {config.line_size}B lines")
-    print(f"  instructions retired : {result.instructions:,}")
-    print(f"  LLC accesses         : {result.accesses:,}")
-    print(f"  LLC misses           : {result.llc_stats.misses:,}")
-    print(f"  LLC MPKI             : {result.mpki:.3f}")
-    print(f"  miss ratio           : {result.llc_stats.miss_ratio:.4f}")
-    print(f"  filtered transactions: {result.filtered:,}")
-    print(f"  sampled windows      : {len(result.samples)}")
-    if args.phases:
-        print("\nPhase analysis (stable-MPKI segments):")
-        for phase, representative in phase_summary(result.samples):
+    if len(results) == 1:
+        result, config = results[0], configs[0]
+        print(f"Dragonhead: {format_size(config.cache_size)}, {config.line_size}B lines")
+        print(f"  instructions retired : {result.instructions:,}")
+        print(f"  LLC accesses         : {result.accesses:,}")
+        print(f"  LLC misses           : {result.llc_stats.misses:,}")
+        print(f"  LLC MPKI             : {result.mpki:.3f}")
+        print(f"  miss ratio           : {result.llc_stats.miss_ratio:.4f}")
+        print(f"  filtered transactions: {result.filtered:,}")
+        print(f"  sampled windows      : {len(result.samples)}")
+        if args.phases:
+            print("\nPhase analysis (stable-MPKI segments):")
+            for phase, representative in phase_summary(result.samples):
+                print(
+                    f"  phase {phase.index}: windows "
+                    f"[{phase.start_window}, {phase.end_window}) "
+                    f"mean MPKI {phase.mean_mpki:.2f}, "
+                    f"representative window {representative}"
+                )
+    else:
+        print(
+            f"Cache-size sweep ({len(results)} configurations, "
+            f"{args.line}B lines, one captured trace):"
+        )
+        print(f"  {'LLC size':>10}  {'misses':>10}  {'LLC MPKI':>9}  {'miss ratio':>10}")
+        for config, result in zip(configs, results):
             print(
-                f"  phase {phase.index}: windows "
-                f"[{phase.start_window}, {phase.end_window}) "
-                f"mean MPKI {phase.mean_mpki:.2f}, "
-                f"representative window {representative}"
+                f"  {format_size(config.cache_size):>10}"
+                f"  {result.llc_stats.misses:>10,}"
+                f"  {result.mpki:>9.3f}"
+                f"  {result.llc_stats.miss_ratio:>10.4f}"
             )
+    if trace_cache is not None:
+        print(f"  trace cache          : {trace_cache.stats.describe()} ({trace_cache.root})")
     return 0
 
 

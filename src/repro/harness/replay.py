@@ -1,0 +1,490 @@
+"""Single-pass multi-config replay engine for the co-simulation path.
+
+``CoSimPlatform.run`` executes the whole SoftSDV→DEX→FSB→Dragonhead
+pipeline for one cache configuration.  A design-space sweep (Figures
+4-6: 4 MB-256 MB) therefore re-runs trace generation, DEX scheduling,
+and protocol encoding once *per configuration* — faithful to the
+hardware, where reprogramming the FPGAs forces a fresh run, but pure
+waste in software: everything above the bus is independent of the
+emulated cache geometry.
+
+This engine splits the pipeline at the architectural boundary the AF
+FPGA defines.  :func:`capture_replay_log` runs the simulator side
+*once* per (workload, cores, quantum, seed) with a recording snooper on
+the bus, capturing exactly what survives the address filter: the
+decoded, window-gated, core-tagged transaction stream, as compact
+columnar numpy arrays plus an event table (per-slice core tags and the
+instruction/cycle progress counters that drive window sampling).
+:func:`replay` then re-drives a fresh :class:`DragonheadEmulator`
+through its public snoop interface — protocol messages re-encoded, data
+chunks re-issued — so per-config statistics are *identical* to a fresh
+``CoSimPlatform.run``, per-core splits and 500 µs window samples
+included (``tests/test_harness_replay.py`` proves field-for-field
+equality).
+
+:func:`replay_sweep` is the user-facing entry: capture (or load from
+the content-addressed :class:`~repro.trace.cache.TraceCache`) once,
+then fan the log out to N configurations, optionally across worker
+processes via :func:`~repro.harness.parallel.parallel_map` — the log
+travels as an on-disk path and is memory-mapped by each worker, not
+pickled per task.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cache.emulator import DragonheadConfig, DragonheadEmulator
+from repro.cache.emulator import AddressFilter
+from repro.core.cosim import CoSimResult
+from repro.core.fsb import FrontSideBus, FSBTransaction
+from repro.core.softsdv import GuestWorkload, SoftSDV
+from repro.errors import TraceError
+from repro.protocol import Message, MessageCodec, MessageKind
+from repro.trace.cache import TraceCache, cache_key
+from repro.trace.record import AccessKind, TraceChunk
+from repro.harness.parallel import parallel_map, resolve_jobs
+
+#: Event-table opcodes (first column of :attr:`ReplayLog.events`).
+EVENT_DATA = 0  #: (EVENT_DATA, end_offset, core): data up to end_offset
+EVENT_PROGRESS = 1  #: (EVENT_PROGRESS, instructions, cycles): counters
+
+#: Array names used when a log is stored in a :class:`TraceCache`.
+_ARRAY_NAMES = ("addresses", "kinds", "pcs", "events")
+
+
+@dataclass(frozen=True)
+class ReplayLog:
+    """One captured pass of the simulator side of the platform.
+
+    The columnar arrays hold every data transaction that survived the
+    address filter, in bus order; ``events`` interleaves data segments
+    (constant core id, no progress message inside) with the progress
+    counters exactly as they appeared on the bus, which is all the
+    emulator's sampler needs to reproduce its window series.
+    """
+
+    workload: str
+    cores: int
+    quantum: int
+    boot_noise_accesses: int
+    addresses: np.ndarray  # uint64 [N] byte addresses
+    kinds: np.ndarray  # uint8  [N] AccessKind values
+    pcs: np.ndarray  # uint64 [N] program counters
+    events: np.ndarray  # uint64 [E, 3] (opcode, a, b) rows
+    filtered: int  # transactions outside the emulation window
+    instructions: int  # final retired-instruction counter
+
+    @property
+    def accesses(self) -> int:
+        """In-window data transactions captured."""
+        return len(self.addresses)
+
+    def core_tags(self) -> np.ndarray:
+        """Expand the segment table into a per-access core-id array."""
+        cores = np.zeros(self.accesses, dtype=np.uint16)
+        start = 0
+        for opcode, a, b in self.events:
+            if int(opcode) == EVENT_DATA:
+                end = int(a)
+                cores[start:end] = int(b)
+                start = end
+        return cores
+
+    def to_chunk(self) -> TraceChunk:
+        """The whole captured stream as one core-tagged trace chunk.
+
+        For consumers outside the emulator — prefetch studies, reuse
+        analysis — that want the AF-filtered traffic without replaying
+        the protocol.
+        """
+        return TraceChunk(
+            np.asarray(self.addresses),
+            np.asarray(self.kinds),
+            self.core_tags(),
+            np.asarray(self.pcs),
+        )
+
+    # -- trace-cache serialization ------------------------------------
+
+    def to_payload(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Split into the (meta, arrays) form a TraceCache stores."""
+        meta = {
+            "workload": self.workload,
+            "cores": self.cores,
+            "quantum": self.quantum,
+            "boot_noise_accesses": self.boot_noise_accesses,
+            "filtered": self.filtered,
+            "instructions": self.instructions,
+        }
+        arrays = {
+            "addresses": self.addresses,
+            "kinds": self.kinds,
+            "pcs": self.pcs,
+            "events": self.events,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_payload(
+        cls, meta: Mapping[str, object], arrays: Mapping[str, np.ndarray]
+    ) -> "ReplayLog":
+        missing = [name for name in _ARRAY_NAMES if name not in arrays]
+        if missing:
+            raise TraceError(f"replay-log payload missing arrays: {missing}")
+        return cls(
+            workload=str(meta["workload"]),
+            cores=int(meta["cores"]),
+            quantum=int(meta["quantum"]),
+            boot_noise_accesses=int(meta["boot_noise_accesses"]),
+            addresses=arrays["addresses"],
+            kinds=arrays["kinds"],
+            pcs=arrays["pcs"],
+            events=arrays["events"],
+            filtered=int(meta["filtered"]),
+            instructions=int(meta["instructions"]),
+        )
+
+
+class ReplayLogRecorder:
+    """A passive bus snooper that captures the AF-filtered stream.
+
+    Mirrors the AF FPGA's front half — message decode, window gating,
+    core tagging — but instead of driving cache banks it appends the
+    surviving transactions to columnar buffers.  Attach to a
+    :class:`~repro.core.fsb.FrontSideBus` alongside (or instead of) an
+    emulator.
+    """
+
+    def __init__(self) -> None:
+        self._af = AddressFilter()
+        self._addresses: list[np.ndarray] = []
+        self._kinds: list[np.ndarray] = []
+        self._pcs: list[np.ndarray] = []
+        self._events: list[tuple[int, int, int]] = []
+        self._count = 0
+
+    # -- BusSnooper interface -----------------------------------------
+
+    def snoop(self, transaction: FSBTransaction) -> None:
+        address = transaction.address
+        if MessageCodec.is_message(address):
+            message = self._af.handle_message(address)
+            if message is not None and message.kind is MessageKind.CYCLES_COMPLETED:
+                self._events.append(
+                    (
+                        EVENT_PROGRESS,
+                        self._af.instructions_retired,
+                        self._af.cycles_completed,
+                    )
+                )
+            return
+        if not self._af.emulating:
+            self._af.filtered_transactions += 1
+            return
+        self._append(
+            np.array([address], dtype=np.uint64),
+            np.array([int(transaction.kind)], dtype=np.uint8),
+            np.array([transaction.pc], dtype=np.uint64),
+        )
+
+    def snoop_chunk(self, chunk: TraceChunk) -> None:
+        if not self._af.emulating:
+            self._af.filtered_transactions += len(chunk)
+            return
+        if len(chunk):
+            self._append(chunk.addresses, chunk.kinds, chunk.pcs)
+
+    def _append(
+        self, addresses: np.ndarray, kinds: np.ndarray, pcs: np.ndarray
+    ) -> None:
+        core = self._af.current_core
+        self._addresses.append(addresses)
+        self._kinds.append(kinds)
+        self._pcs.append(pcs)
+        self._count += len(addresses)
+        # Extend the open data segment when nothing (core switch or
+        # progress message) separates it from this batch.
+        if self._events and self._events[-1][0] == EVENT_DATA and self._events[-1][2] == core:
+            self._events[-1] = (EVENT_DATA, self._count, core)
+        else:
+            self._events.append((EVENT_DATA, self._count, core))
+
+    # -- extraction ---------------------------------------------------
+
+    def finish(
+        self, workload: str, cores: int, quantum: int, boot_noise_accesses: int
+    ) -> ReplayLog:
+        """Freeze the captured buffers into an immutable log."""
+
+        def concat(parts: list[np.ndarray], dtype) -> np.ndarray:
+            if not parts:
+                return np.empty(0, dtype=dtype)
+            return np.concatenate(parts).astype(dtype, copy=False)
+
+        events = (
+            np.array(self._events, dtype=np.uint64)
+            if self._events
+            else np.empty((0, 3), dtype=np.uint64)
+        )
+        return ReplayLog(
+            workload=workload,
+            cores=cores,
+            quantum=quantum,
+            boot_noise_accesses=boot_noise_accesses,
+            addresses=concat(self._addresses, np.uint64),
+            kinds=concat(self._kinds, np.uint8),
+            pcs=concat(self._pcs, np.uint64),
+            events=events,
+            filtered=self._af.filtered_transactions,
+            instructions=self._af.instructions_retired,
+        )
+
+
+def capture_replay_log(
+    workload: GuestWorkload,
+    cores: int,
+    quantum: int = 4096,
+    boot_noise_accesses: int = 8192,
+) -> ReplayLog:
+    """Run the simulator side once and capture the replayable stream.
+
+    This is the single generation pass a whole sweep shares: workload
+    trace production, DEX scheduling, and protocol encoding all happen
+    here, exactly as ``CoSimPlatform`` would drive them — just with a
+    recorder on the bus instead of an emulator.
+    """
+    bus = FrontSideBus()
+    recorder = ReplayLogRecorder()
+    bus.attach(recorder)
+    softsdv = SoftSDV(bus, quantum=quantum, boot_noise_accesses=boot_noise_accesses)
+    softsdv.run_workload(workload, cores)
+    return recorder.finish(
+        workload=workload.name,
+        cores=cores,
+        quantum=quantum,
+        boot_noise_accesses=boot_noise_accesses,
+    )
+
+
+# -- replaying one configuration --------------------------------------
+
+
+def _issue_message(emulator: DragonheadEmulator, message: Message) -> None:
+    """Re-encode a protocol message onto the emulator's snoop port."""
+    for address in MessageCodec.encode(message):
+        emulator.snoop(FSBTransaction(address=address, kind=AccessKind.WRITE))
+
+
+def replay_into(log: ReplayLog, emulator: DragonheadEmulator) -> None:
+    """Drive ``emulator`` with a captured log, through its public port.
+
+    The protocol messages are re-encoded and re-decoded, so the AF's
+    session checks, counter monotonicity guards, and window sampling
+    behave exactly as on a live bus.
+    """
+    # Out-of-window traffic never reaches the banks; only its count is
+    # architecturally visible, so restore the counter instead of
+    # replaying thousands of discarded noise transactions.
+    emulator.af.filtered_transactions += log.filtered
+    _issue_message(emulator, Message(MessageKind.START_EMULATION))
+    addresses = log.addresses
+    kinds = log.kinds
+    pcs = log.pcs
+    start = 0
+    current_core: int | None = None
+    for opcode, a, b in log.events:
+        if int(opcode) == EVENT_DATA:
+            end, core = int(a), int(b)
+            if core != current_core:
+                _issue_message(emulator, Message(MessageKind.CORE_ID, core))
+                current_core = core
+            emulator.snoop_chunk(
+                TraceChunk(addresses[start:end], kinds[start:end], core, pcs[start:end])
+            )
+            start = end
+        else:
+            _issue_message(emulator, Message(MessageKind.INSTRUCTIONS_RETIRED, int(a)))
+            _issue_message(emulator, Message(MessageKind.CYCLES_COMPLETED, int(b)))
+    _issue_message(emulator, Message(MessageKind.STOP_EMULATION))
+
+
+def replay(log: ReplayLog, config: DragonheadConfig) -> CoSimResult:
+    """One configuration's worth of a sweep: fresh emulator, one pass."""
+    emulator = DragonheadEmulator(config)
+    replay_into(log, emulator)
+    performance = emulator.read_performance_data()
+    return CoSimResult(
+        workload=log.workload,
+        cores=log.cores,
+        performance=performance,
+        instructions=log.instructions,
+        accesses=performance.stats.accesses,
+        filtered=performance.filtered_transactions,
+    )
+
+
+# -- trace-cache integration ------------------------------------------
+
+
+def log_cache_key(
+    workload: str,
+    cores: int,
+    quantum: int,
+    boot_noise_accesses: int,
+    extra: Mapping[str, object] | None = None,
+) -> str:
+    """Content address of a captured log's full identity.
+
+    ``extra`` carries whatever parameterizes trace generation beyond
+    the platform knobs — source kind, per-thread access count, footprint
+    scale, seed — so two guests that would generate different traffic
+    never share an entry.
+    """
+    fields: dict[str, object] = {
+        "kind": "replay-log",
+        "workload": workload,
+        "cores": cores,
+        "quantum": quantum,
+        "boot_noise_accesses": boot_noise_accesses,
+    }
+    for name, value in (extra or {}).items():
+        fields[f"x:{name}"] = value
+    return cache_key(fields)
+
+
+def load_or_capture(
+    workload: GuestWorkload,
+    cores: int,
+    quantum: int = 4096,
+    boot_noise_accesses: int = 8192,
+    trace_cache: TraceCache | None = None,
+    key_extra: Mapping[str, object] | None = None,
+) -> tuple[ReplayLog, str | None]:
+    """Fetch a captured log from the cache, generating only on miss.
+
+    Returns ``(log, entry_dir)``; ``entry_dir`` is the on-disk home of
+    the log when a cache is in use (for zero-copy process fan-out), or
+    None when uncached.  On a hit, ``workload.thread_streams`` is never
+    called — generation is skipped entirely, observable through the
+    cache's ``stats.hits`` counter.
+    """
+    if trace_cache is None:
+        return (
+            capture_replay_log(workload, cores, quantum, boot_noise_accesses),
+            None,
+        )
+    key = log_cache_key(
+        workload.name, cores, quantum, boot_noise_accesses, key_extra
+    )
+    payload = trace_cache.load(key)
+    if payload is not None:
+        return ReplayLog.from_payload(*payload), str(trace_cache.entry_dir(key))
+    log = capture_replay_log(workload, cores, quantum, boot_noise_accesses)
+    entry = trace_cache.store(key, *log.to_payload())
+    return log, str(entry)
+
+
+# -- multi-config fan-out ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class _LogHandle:
+    """Picklable reference to a log: inline arrays or an on-disk entry."""
+
+    log: ReplayLog | None = None
+    entry_dir: str | None = None
+
+    def resolve(self) -> ReplayLog:
+        if self.log is not None:
+            return self.log
+        entry = Path(self.entry_dir)
+        with open(entry / "manifest.json", "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        arrays = {
+            name: np.load(entry / spec["file"], mmap_mode="r")
+            for name, spec in manifest["arrays"].items()
+        }
+        return ReplayLog.from_payload(manifest["meta"], arrays)
+
+
+def _replay_task(task: tuple[_LogHandle, DragonheadConfig]) -> CoSimResult:
+    """One (log, config) replay — module-level so it crosses processes."""
+    handle, config = task
+    return replay(handle.resolve(), config)
+
+
+def replay_map(
+    log: ReplayLog,
+    configs: Sequence[DragonheadConfig],
+    jobs: int | None = None,
+    entry_dir: str | None = None,
+) -> list[CoSimResult]:
+    """Fan one captured log out to every configuration.
+
+    With ``jobs`` > 1 the configurations split across worker processes;
+    when the log lives in a trace cache (``entry_dir``), workers
+    memory-map it from disk instead of receiving pickled copies, so the
+    log exists once no matter how wide the fan-out.
+    """
+    configs = list(configs)
+    if resolve_jobs(jobs) <= 1 or len(configs) < 2:
+        return [replay(log, config) for config in configs]
+    handle = (
+        _LogHandle(entry_dir=entry_dir)
+        if entry_dir is not None
+        else _LogHandle(log=log)
+    )
+    return parallel_map(
+        _replay_task, [(handle, config) for config in configs], jobs=jobs
+    )
+
+
+def replay_sweep(
+    workload: GuestWorkload,
+    cores: int,
+    configs: Sequence[DragonheadConfig],
+    quantum: int = 4096,
+    boot_noise_accesses: int = 8192,
+    jobs: int | None = None,
+    trace_cache: TraceCache | None = None,
+    key_extra: Mapping[str, object] | None = None,
+) -> list[CoSimResult]:
+    """The engine's front door: one generation pass, N configurations.
+
+    Results are index-aligned with ``configs`` and field-for-field
+    identical to ``CoSimPlatform(config, quantum, boot_noise).run(...)``
+    per configuration.
+    """
+    log, entry_dir = load_or_capture(
+        workload,
+        cores,
+        quantum=quantum,
+        boot_noise_accesses=boot_noise_accesses,
+        trace_cache=trace_cache,
+        key_extra=key_extra,
+    )
+    return replay_map(log, configs, jobs=jobs, entry_dir=entry_dir)
+
+
+def size_sweep_configs(
+    cache_sizes: Sequence[int],
+    line_size: int = 64,
+    associativity: int = 16,
+    policy: str = "lru",
+) -> list[DragonheadConfig]:
+    """Dragonhead configurations for a cache-size sweep."""
+    return [
+        DragonheadConfig(
+            cache_size=size,
+            line_size=line_size,
+            associativity=associativity,
+            policy=policy,
+        )
+        for size in cache_sizes
+    ]

@@ -12,6 +12,7 @@ byte-identical to the serial run — see :mod:`repro.harness.parallel`.
 from __future__ import annotations
 
 import argparse
+import inspect
 
 from repro.harness import (
     ablations,
@@ -51,11 +52,25 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for the sweep grids (default: serial; "
         "0 means one per CPU); output is byte-identical to a serial run",
     )
+    parser.add_argument(
+        "--trace-cache",
+        metavar="DIR",
+        default=None,
+        help="reuse captured co-simulation traces across runs via the "
+        "content-addressed cache in DIR (default: $REPRO_TRACE_CACHE)",
+    )
     args = parser.parse_args(argv)
+    from repro.trace.cache import resolve_trace_cache
 
+    trace_cache = resolve_trace_cache(args.trace_cache)
     exhibits = PAPER_EXHIBITS + (EXTENDED_EXHIBITS if args.extended else ())
     for exhibit in exhibits:
-        exhibit.main(jobs=args.jobs)
+        kwargs: dict[str, object] = {"jobs": args.jobs}
+        # Exact-path exhibits accept the trace cache; the closed-form
+        # model exhibits have nothing to cache and don't take the knob.
+        if "trace_cache" in inspect.signature(exhibit.main).parameters:
+            kwargs["trace_cache"] = trace_cache
+        exhibit.main(**kwargs)
         print()
     if args.csv:
         from repro.harness.export import export_all

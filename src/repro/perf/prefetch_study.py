@@ -141,6 +141,42 @@ def prefetch_gain(workload: str, threads: int = 1) -> PrefetchGain:
     )
 
 
+def measured_coverage(
+    workload: str,
+    cores: int = 4,
+    cache_size: int = 1024 * KB,
+    degree: int = 2,
+    trace_cache=None,
+) -> tuple[float, float]:
+    """Exact-path (coverage, accuracy) of the stride prefetcher.
+
+    The model's ``coverage_at`` is an analytic projection; this runs
+    the workload's instrumented kernel once through the replay engine
+    (:mod:`repro.harness.replay`) and feeds the captured, AF-filtered,
+    PC-tagged transaction stream to the real reference-prediction-table
+    prefetcher wrapped around a live cache — the measured counterpart
+    Figure 8's calibration leans on.  With a warm ``trace_cache`` the
+    kernel never re-runs.
+    """
+    from repro.cache.cache import CacheConfig, SetAssociativeCache
+    from repro.cache.prefetch import PrefetchingCache, StridePrefetcher
+    from repro.harness.replay import load_or_capture
+    from repro.workloads.registry import get_workload
+
+    log, _ = load_or_capture(
+        get_workload(workload).kernel_guest(),
+        cores,
+        trace_cache=trace_cache,
+        key_extra={"source": "kernel"},
+    )
+    prefetching = PrefetchingCache(
+        SetAssociativeCache(CacheConfig(size=cache_size)),
+        StridePrefetcher(degree=degree),
+    )
+    prefetching.access_chunk(log.to_chunk())
+    return prefetching.coverage, prefetching.prefetcher.stats.accuracy
+
+
 def _gain_pair(task: tuple[str, int]) -> tuple[PrefetchGain, PrefetchGain]:
     """Serial and parallel gains for one workload (picklable task)."""
     name, threads_parallel = task

@@ -7,10 +7,31 @@ references get :data:`COLD`.  A fully-associative LRU cache of capacity
 bridge between trace simulation and the analytic models — and the
 property the test suite verifies against :class:`FullyAssociativeLRU`.
 
-Implementation: a Fenwick tree over access timestamps holds a 1 at the
-last-reference time of every currently-tracked line; the distance of an
-access at time ``t`` whose line was last referenced at ``p`` is the
-number of ones strictly between ``p`` and ``t``.
+The textbook formulation keeps a Fenwick tree holding a 1 at the
+last-reference time of every tracked line and, per access, *moves* the
+one from the previous reference to the current time (two point updates)
+and takes the difference of two prefix sums.  This implementation
+batches everything batchable and halves the sequential tree work:
+
+* previous-occurrence times are computed for the whole chunk up front
+  with one ``np.unique(..., return_inverse=True)`` plus a stable
+  argsort — no per-access dict probes;
+* the minuend ``prefix_sum(t - 1)`` is just the number of distinct
+  lines seen so far (every tracked line contributes exactly one 1), so
+  it comes from one vectorized ``cumsum`` over the cold mask instead of
+  a tree walk;
+* the tree tracks *superseded* last-use positions instead of current
+  ones.  When access ``t`` re-references the line last used at ``p``,
+  position ``p`` stops being a last use — one ``add(p, +1)``.  The
+  number of still-current positions ``<= p`` is then
+  ``(p + 1) - prefix_sum(p)``, so each non-cold access costs one walk
+  plus one update (the classic tree pays two of each), and cold
+  accesses never touch the tree at all.
+
+The tree itself is a flat ``numpy.int64`` array; the sequential
+walk/update loop is the only part of the algorithm that is inherently
+serial.  ``benchmarks/test_simulator_throughput.py`` holds a throughput
+floor over this path.
 """
 
 from __future__ import annotations
@@ -23,31 +44,21 @@ from repro.trace.record import TraceChunk
 COLD: int = -1
 
 
-class _Fenwick:
-    """Fenwick (binary-indexed) tree with point update / prefix sum."""
+def previous_occurrences(lines: np.ndarray) -> np.ndarray:
+    """Index of each access's previous same-line access (-1 when cold).
 
-    __slots__ = ("tree", "size")
-
-    def __init__(self, size: int) -> None:
-        self.size = size
-        self.tree = [0] * (size + 1)
-
-    def add(self, index: int, delta: int) -> None:
-        i = index + 1
-        tree = self.tree
-        while i <= self.size:
-            tree[i] += delta
-            i += i & (-i)
-
-    def prefix_sum(self, index: int) -> int:
-        """Sum of elements [0, index]."""
-        i = index + 1
-        total = 0
-        tree = self.tree
-        while i > 0:
-            total += tree[i]
-            i -= i & (-i)
-        return total
+    Vectorized: group accesses by line with one stable argsort of the
+    ``np.unique`` inverse, then link neighbours within each group.
+    """
+    n = len(lines)
+    previous = np.full(n, -1, dtype=np.int64)
+    if n < 2:
+        return previous
+    _, inverse = np.unique(np.asarray(lines), return_inverse=True)
+    order = np.argsort(inverse, kind="stable")
+    same_line = inverse[order[1:]] == inverse[order[:-1]]
+    previous[order[1:][same_line]] = order[:-1][same_line]
+    return previous
 
 
 def stack_distances(chunk: TraceChunk, line_size: int = 64) -> np.ndarray:
@@ -58,23 +69,41 @@ def stack_distances(chunk: TraceChunk, line_size: int = 64) -> np.ndarray:
     """
     lines = chunk.lines(line_size)
     n = len(lines)
-    result = np.empty(n, dtype=np.int64)
+    result = np.full(n, COLD, dtype=np.int64)
     if n == 0:
         return result
-    fenwick = _Fenwick(n)
-    last_time: dict[int, int] = {}
-    for t in range(n):
-        line = int(lines[t])
-        previous = last_time.get(line)
-        if previous is None:
-            result[t] = COLD
-        else:
-            # Distinct lines referenced strictly after `previous`:
-            # each tracked line contributes a 1 at its last-use time.
-            result[t] = fenwick.prefix_sum(t - 1) - fenwick.prefix_sum(previous)
-            fenwick.add(previous, -1)
-        fenwick.add(t, +1)
-        last_time[line] = t
+    previous = previous_occurrences(lines)
+    warm = previous >= 0
+    if not warm.any():
+        return result
+    # distinct[t] = lines seen before access t = prefix_sum over the
+    # tracked-line ones at time t (the minuend of the textbook form).
+    distinct = np.cumsum(~warm) - (~warm)
+    # Fenwick tree (1-based) over superseded last-use positions.  The
+    # walk loop reads/writes it through a memoryview: scalar indexing
+    # then yields native ints instead of boxed numpy scalars, which is
+    # ~40% faster without giving up the flat int64 storage.
+    tree_array = np.zeros(n + 1, dtype=np.int64)
+    tree = memoryview(tree_array)
+    times = np.flatnonzero(warm)
+    warm_distinct = distinct[times].tolist()
+    warm_previous = previous[times].tolist()
+    warm_result = []
+    note = warm_result.append
+    for seen, p in zip(warm_distinct, warm_previous):
+        # Current last-use positions <= p: (p + 1) minus superseded ones.
+        i = p + 1
+        superseded = 0
+        while i > 0:
+            superseded += tree[i]
+            i -= i & (-i)
+        note(seen - (p + 1) + superseded)
+        # Position p is no longer a last use.
+        i = p + 1
+        while i <= n:
+            tree[i] += 1
+            i += i & (-i)
+    result[times] = warm_result
     return result
 
 

@@ -1,0 +1,230 @@
+"""Content-addressed on-disk cache for captured trace artifacts.
+
+The expensive half of the co-simulation path is everything *above* the
+front-side bus: running the instrumented mining kernels (or the
+synthetic generators), DEX-scheduling their per-thread streams, and
+encoding the Section 3.3 message protocol.  All of that is a pure
+function of the workload identity and the platform parameters, so its
+output — the replay log :mod:`repro.harness.replay` captures — can be
+cached on disk and reused across processes and invocations.
+
+This module provides the storage layer only; it knows nothing about
+replay logs.  An *entry* is a JSON-able metadata dict plus a set of
+named numpy arrays:
+
+* the key is the SHA-256 of the canonical JSON of the caller's key
+  fields (workload name, trace source, model parameters, thread count,
+  seed, access count, scheduling quantum, ...) — content addressing
+  means invalidation is automatic: change any field and you address a
+  different entry;
+* each entry is a directory ``root/ab/cdef.../`` holding one ``.npy``
+  file per array plus ``manifest.json`` recording dtype, shape, and
+  byte size for integrity checking;
+* writers build the entry in a private temp directory and publish it
+  with one atomic :func:`os.rename`, so concurrent ``--jobs`` workers
+  (or concurrent CI shards sharing a cache volume) can race on the same
+  key without ever exposing a half-written entry — the losers simply
+  discard their copy;
+* readers validate the manifest against the files and treat *any*
+  damage (truncated manifest, missing or short array file, dtype or
+  shape drift) as a miss, so a corrupted cache regenerates instead of
+  crashing.
+
+Loads memory-map the arrays by default, so fanning one captured log out
+to N worker processes shares pages instead of duplicating the log.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Manifest file name inside every entry directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Manifest schema version; bump on incompatible layout changes (old
+#: entries then simply miss and regenerate).
+FORMAT_VERSION = 1
+
+#: Environment variable consulted when no explicit directory is given.
+TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
+
+#: Values (case-insensitive) that disable the cache when passed as a
+#: ``--trace-cache`` argument or via :data:`TRACE_CACHE_ENV`.
+OFF_VALUES = frozenset({"", "0", "off", "none", "disabled"})
+
+
+@dataclass
+class TraceCacheStats:
+    """Observable counters for one :class:`TraceCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} "
+            f"stores={self.stores} corrupt={self.corrupt}"
+        )
+
+
+def cache_key(fields: Mapping[str, object]) -> str:
+    """Content address of a key-field mapping (hex SHA-256).
+
+    Fields must be JSON-serializable; canonical form (sorted keys, no
+    whitespace) makes the address independent of insertion order.
+    """
+    canonical = json.dumps(dict(fields), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class TraceCache:
+    """A content-addressed store of (metadata, numpy arrays) entries."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = TraceCacheStats()
+
+    # -- addressing ---------------------------------------------------
+
+    def entry_dir(self, key: str) -> Path:
+        """Directory an entry with ``key`` lives in (two-level fan-out)."""
+        if len(key) < 3:
+            raise ConfigurationError(f"trace-cache key too short: {key!r}")
+        return self.root / key[:2] / key[2:]
+
+    def contains(self, key: str) -> bool:
+        """Whether a (superficially) complete entry exists for ``key``."""
+        return (self.entry_dir(key) / MANIFEST_NAME).is_file()
+
+    # -- reading ------------------------------------------------------
+
+    def load(
+        self, key: str, mmap: bool = True
+    ) -> tuple[dict, dict[str, np.ndarray]] | None:
+        """Return ``(meta, arrays)`` for ``key``, or None on miss.
+
+        Any integrity failure — unreadable or truncated manifest, wrong
+        schema, missing array file, byte-size/dtype/shape mismatch — is
+        reported as a miss (and counted in ``stats.corrupt``) so callers
+        regenerate rather than crash on a damaged cache.
+        """
+        entry = self.entry_dir(key)
+        manifest_path = entry / MANIFEST_NAME
+        try:
+            handle = open(manifest_path, "r", encoding="utf-8")
+        except FileNotFoundError:
+            # No manifest means no entry at all — a clean miss, not
+            # damage (the manifest is written last on store).
+            self.stats.misses += 1
+            return None
+        try:
+            with handle:
+                manifest = json.load(handle)
+            if manifest.get("format") != FORMAT_VERSION or manifest.get("key") != key:
+                raise ValueError("manifest schema/key mismatch")
+            arrays: dict[str, np.ndarray] = {}
+            for name, spec in manifest["arrays"].items():
+                path = entry / spec["file"]
+                if path.stat().st_size != spec["file_bytes"]:
+                    raise ValueError(f"array file {name!r} size mismatch")
+                array = np.load(path, mmap_mode="r" if mmap else None)
+                if str(array.dtype) != spec["dtype"] or list(array.shape) != list(
+                    spec["shape"]
+                ):
+                    raise ValueError(f"array {name!r} header mismatch")
+                arrays[name] = array
+            meta = manifest["meta"]
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            # A present-but-damaged entry: count it separately, drop it
+            # so the next store can republish cleanly, and miss.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            shutil.rmtree(entry, ignore_errors=True)
+            del error
+            return None
+        self.stats.hits += 1
+        return meta, arrays
+
+    # -- writing ------------------------------------------------------
+
+    def store(
+        self, key: str, meta: Mapping[str, object], arrays: Mapping[str, np.ndarray]
+    ) -> Path:
+        """Publish an entry for ``key``; returns its directory.
+
+        Safe under concurrent writers: the entry is assembled in a
+        process-private temp directory and published with one atomic
+        rename.  If another writer published the same key first, this
+        writer's copy is discarded (content addressing makes the two
+        copies interchangeable).
+        """
+        final = self.entry_dir(key)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.root / f".tmp-{key[:8]}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        tmp.mkdir()
+        try:
+            specs: dict[str, dict] = {}
+            for name, array in arrays.items():
+                file_name = f"{name}.npy"
+                array = np.ascontiguousarray(array)
+                np.save(tmp / file_name, array)
+                specs[name] = {
+                    "file": file_name,
+                    "dtype": str(array.dtype),
+                    "shape": list(array.shape),
+                    "file_bytes": (tmp / file_name).stat().st_size,
+                }
+            manifest = {
+                "format": FORMAT_VERSION,
+                "key": key,
+                "meta": dict(meta),
+                "arrays": specs,
+            }
+            # Manifest last: its presence marks the entry complete.
+            with open(tmp / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, sort_keys=True)
+            try:
+                os.rename(tmp, final)
+            except OSError:
+                # Lost the publish race (or a stale entry is in the
+                # way).  If a valid entry exists we are done; otherwise
+                # clear the wreck and retry once.
+                if not (final / MANIFEST_NAME).is_file():
+                    shutil.rmtree(final, ignore_errors=True)
+                    os.rename(tmp, final)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        self.stats.stores += 1
+        return final
+
+
+def resolve_trace_cache(
+    directory: str | None = None, environ: Mapping[str, str] | None = None
+) -> TraceCache | None:
+    """Resolve the trace-cache knob: explicit flag, else environment.
+
+    ``directory`` comes from ``--trace-cache DIR``; when None, the
+    :data:`TRACE_CACHE_ENV` variable is consulted.  The off switch —
+    any value in :data:`OFF_VALUES` — returns None, as does an unset
+    knob, so the cache is strictly opt-in.
+    """
+    if directory is None:
+        env = os.environ if environ is None else environ
+        directory = env.get(TRACE_CACHE_ENV)
+    if directory is None or directory.strip().lower() in OFF_VALUES:
+        return None
+    return TraceCache(directory)

@@ -1,0 +1,192 @@
+"""Tests for the content-addressed trace cache (repro.trace.cache)."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trace.cache import (
+    MANIFEST_NAME,
+    OFF_VALUES,
+    TRACE_CACHE_ENV,
+    TraceCache,
+    cache_key,
+    resolve_trace_cache,
+)
+
+
+def sample_payload():
+    meta = {"workload": "FIMI", "cores": 4, "filtered": 123}
+    arrays = {
+        "addresses": np.arange(1000, dtype=np.uint64) * 64,
+        "kinds": np.zeros(1000, dtype=np.uint8),
+        "events": np.array([[0, 1000, 2]], dtype=np.uint64),
+    }
+    return meta, arrays
+
+
+class TestCacheKey:
+    def test_order_independent(self):
+        assert cache_key({"a": 1, "b": 2}) == cache_key({"b": 2, "a": 1})
+
+    def test_any_field_change_changes_key(self):
+        base = {"workload": "FIMI", "cores": 4, "quantum": 4096, "seed": 7}
+        reference = cache_key(base)
+        for field, value in [
+            ("workload", "PLSA"),
+            ("cores", 8),
+            ("quantum", 1024),
+            ("seed", 8),
+        ]:
+            assert cache_key({**base, field: value}) != reference
+
+    def test_key_is_hex_sha256(self):
+        key = cache_key({"x": 1})
+        assert len(key) == 64
+        int(key, 16)  # parses as hex
+
+
+class TestHitMiss:
+    def test_miss_then_store_then_hit(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        key = cache_key({"n": 1})
+        assert cache.load(key) is None
+        assert cache.stats.misses == 1
+
+        meta, arrays = sample_payload()
+        cache.store(key, meta, arrays)
+        assert cache.stats.stores == 1
+        assert cache.contains(key)
+
+        loaded = cache.load(key)
+        assert loaded is not None
+        loaded_meta, loaded_arrays = loaded
+        assert loaded_meta == meta
+        for name, array in arrays.items():
+            assert np.array_equal(loaded_arrays[name], array)
+            assert loaded_arrays[name].dtype == array.dtype
+        assert cache.stats.hits == 1
+
+    def test_mmap_load_shares_pages(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        key = cache_key({"n": 2})
+        cache.store(key, *sample_payload())
+        _, arrays = cache.load(key, mmap=True)
+        assert isinstance(arrays["addresses"], np.memmap)
+        _, arrays = cache.load(key, mmap=False)
+        assert not isinstance(arrays["addresses"], np.memmap)
+
+    def test_distinct_keys_are_distinct_entries(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        a, b = cache_key({"n": 1}), cache_key({"n": 2})
+        cache.store(a, {"tag": "a"}, {"x": np.zeros(1)})
+        cache.store(b, {"tag": "b"}, {"x": np.ones(1)})
+        assert cache.load(a)[0] == {"tag": "a"}
+        assert cache.load(b)[0] == {"tag": "b"}
+
+    def test_short_key_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            TraceCache(tmp_path).entry_dir("ab")
+
+
+class TestCorruption:
+    """A damaged cache must regenerate, never crash."""
+
+    def _stored(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        key = cache_key({"n": 3})
+        cache.store(key, *sample_payload())
+        return cache, key
+
+    def test_truncated_manifest_is_a_miss(self, tmp_path):
+        cache, key = self._stored(tmp_path)
+        manifest = cache.entry_dir(key) / MANIFEST_NAME
+        manifest.write_text(manifest.read_text()[: 10])
+        assert cache.load(key) is None
+        assert cache.stats.corrupt == 1
+        # the wreck was dropped, so a fresh store publishes cleanly
+        cache.store(key, *sample_payload())
+        assert cache.load(key) is not None
+
+    def test_missing_array_file_is_a_miss(self, tmp_path):
+        cache, key = self._stored(tmp_path)
+        os.remove(cache.entry_dir(key) / "addresses.npy")
+        assert cache.load(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_truncated_array_file_is_a_miss(self, tmp_path):
+        cache, key = self._stored(tmp_path)
+        path = cache.entry_dir(key) / "addresses.npy"
+        path.write_bytes(path.read_bytes()[:-32])
+        assert cache.load(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_wrong_key_in_manifest_is_a_miss(self, tmp_path):
+        cache, key = self._stored(tmp_path)
+        manifest_path = cache.entry_dir(key) / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["key"] = "0" * 64
+        manifest_path.write_text(json.dumps(manifest))
+        assert cache.load(key) is None
+        assert cache.stats.corrupt == 1
+
+
+def _concurrent_writer(args):
+    root, key, value = args
+    cache = TraceCache(root)
+    cache.store(
+        key,
+        {"writer": value},
+        {"payload": np.full(50_000, value, dtype=np.int64)},
+    )
+    return value
+
+
+class TestConcurrency:
+    def test_racing_writers_publish_one_coherent_entry(self, tmp_path):
+        """N processes storing the same key: a complete entry survives.
+
+        Content addressing makes all copies interchangeable, so the
+        only requirement is that the published entry is internally
+        consistent (meta matches arrays) — no torn manifests, no
+        half-written files.
+        """
+        key = cache_key({"race": True})
+        with multiprocessing.Pool(4) as pool:
+            pool.map(
+                _concurrent_writer, [(str(tmp_path), key, v) for v in range(8)]
+            )
+        cache = TraceCache(tmp_path)
+        meta, arrays = cache.load(key)
+        winner = meta["writer"]
+        assert np.array_equal(
+            arrays["payload"], np.full(50_000, winner, dtype=np.int64)
+        )
+        # no temp wreckage left behind
+        assert not [p for p in cache.root.iterdir() if p.name.startswith(".tmp-")]
+
+
+class TestResolve:
+    def test_explicit_directory_wins(self, tmp_path):
+        cache = resolve_trace_cache(str(tmp_path / "cache"), environ={})
+        assert cache is not None
+        assert cache.root == tmp_path / "cache"
+
+    def test_environment_fallback(self, tmp_path):
+        environ = {TRACE_CACHE_ENV: str(tmp_path / "env-cache")}
+        cache = resolve_trace_cache(None, environ=environ)
+        assert cache is not None
+        assert cache.root == tmp_path / "env-cache"
+
+    def test_unset_means_off(self):
+        assert resolve_trace_cache(None, environ={}) is None
+
+    @pytest.mark.parametrize("value", sorted(OFF_VALUES) + ["OFF", "None"])
+    def test_off_values(self, value):
+        assert resolve_trace_cache(value, environ={}) is None
+        assert resolve_trace_cache(None, environ={TRACE_CACHE_ENV: value}) is None
