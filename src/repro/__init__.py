@@ -23,10 +23,15 @@ from repro.units import KB, MB, GB, PAPER_CACHE_SWEEP, PAPER_LINE_SWEEP, format_
 from repro.errors import (
     CalibrationError,
     ConfigurationError,
+    FaultInjectionError,
     ProtocolError,
+    RecoverableProtocolError,
     ReproError,
+    SweepInterrupted,
+    SweepPointError,
     TraceError,
 )
+from repro.faults import DegradationRecord, FaultInjector, FaultSpec
 from repro.cache import (
     CacheConfig,
     CacheHierarchy,
@@ -69,8 +74,15 @@ __all__ = [
     "ReproError",
     "ConfigurationError",
     "ProtocolError",
+    "RecoverableProtocolError",
+    "FaultInjectionError",
+    "SweepPointError",
+    "SweepInterrupted",
     "TraceError",
     "CalibrationError",
+    "FaultSpec",
+    "FaultInjector",
+    "DegradationRecord",
     "CacheConfig",
     "SetAssociativeCache",
     "FullyAssociativeLRU",

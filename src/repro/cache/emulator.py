@@ -32,9 +32,10 @@ import numpy as np
 
 from repro.cache.cache import CacheConfig, SetAssociativeCache
 from repro.cache.stats import CacheStats
+from repro.faults.report import RECOVERED, DegradationRecord, records_from_counts
 from repro.protocol import Message, MessageCodec, MessageKind
 from repro.cache.sampling import WindowSample, WindowSampler
-from repro.errors import ConfigurationError, ProtocolError
+from repro.errors import ConfigurationError, ProtocolError, RecoverableProtocolError
 from repro.trace.record import AccessKind, TraceChunk
 from repro.units import (
     DRAGONHEAD_MAX_CACHE,
@@ -104,27 +105,66 @@ class DragonheadConfig:
 
 
 class AddressFilter:
-    """The AF FPGA: message decode, window gating, core tagging."""
+    """The AF FPGA: message decode, window gating, core tagging.
 
-    def __init__(self) -> None:
+    Two operating modes mirror the two ways to treat a lossy bus:
+
+    * **strict** (the default, and the fault-free contract): any
+      protocol anomaly raises.  De-synchronizations a lenient filter
+      could survive raise :class:`RecoverableProtocolError`; outright
+      malformed transactions raise plain :class:`ProtocolError`.
+    * **lenient**: the filter resynchronizes instead — an unmatched
+      STOP is dropped, a START while the window is already open is
+      treated as the session continuing, a progress counter that moves
+      backwards (a reordered message) keeps its high-water mark, and an
+      undecodable message transaction is discarded.  Every recovery is
+      counted in :attr:`anomalies` and surfaces in the degradation
+      report.
+    """
+
+    def __init__(self, strict: bool = True) -> None:
         self.codec = MessageCodec()
+        self.strict = strict
         self.emulating = False
         self.current_core = 0
         self.instructions_retired = 0
         self.cycles_completed = 0
         self.filtered_transactions = 0  # traffic dropped outside the window
         self.messages_seen = 0
+        self.anomalies: dict[str, int] = {}  # recovered anomaly counts
+
+    def _anomaly(self, kind: str, description: str) -> bool:
+        """Record one anomaly; in strict mode, raise instead.
+
+        Returns True (lenient mode) so call sites read as
+        ``if self._anomaly(...): return`` where the recovery is a drop.
+        """
+        if self.strict:
+            raise RecoverableProtocolError(description)
+        self.anomalies[kind] = self.anomalies.get(kind, 0) + 1
+        return True
 
     def handle_message(self, address: int) -> Message | None:
         """Decode and apply one protocol message address."""
-        message = self.codec.decode(address)
+        try:
+            message = self.codec.decode(address)
+        except ProtocolError:
+            if self.strict:
+                raise
+            self.anomalies["decode-error"] = self.anomalies.get("decode-error", 0) + 1
+            return None
         if message is None:
             return None
         self.messages_seen += 1
         kind = message.kind
         if kind is MessageKind.START_EMULATION:
             if self.emulating:
-                raise ProtocolError("START_EMULATION while already emulating")
+                # Lenient recovery: the matching STOP was lost; keep the
+                # window open and let the session continue.
+                self._anomaly(
+                    "spurious-start", "START_EMULATION while already emulating"
+                )
+                return message
             self.emulating = True
             # A new emulation session: the progress counters are
             # session-relative (back-to-back runs restart from zero).
@@ -132,23 +172,32 @@ class AddressFilter:
             self.cycles_completed = 0
         elif kind is MessageKind.STOP_EMULATION:
             if not self.emulating:
-                raise ProtocolError("STOP_EMULATION while not emulating")
+                # Lenient recovery: drop the unmatched STOP; the window
+                # reopens on the next START.
+                self._anomaly("orphan-stop", "STOP_EMULATION while not emulating")
+                return message
             self.emulating = False
         elif kind is MessageKind.CORE_ID:
             self.current_core = message.payload
         elif kind is MessageKind.INSTRUCTIONS_RETIRED:
             if message.payload < self.instructions_retired:
-                raise ProtocolError(
+                # Lenient recovery: a reordered counter message; keep
+                # the monotone high-water mark.
+                self._anomaly(
+                    "counter-regression",
                     "instructions-retired counter moved backwards: "
-                    f"{message.payload} < {self.instructions_retired}"
+                    f"{message.payload} < {self.instructions_retired}",
                 )
+                return message
             self.instructions_retired = message.payload
         elif kind is MessageKind.CYCLES_COMPLETED:
             if message.payload < self.cycles_completed:
-                raise ProtocolError(
+                self._anomaly(
+                    "counter-regression",
                     "cycles-completed counter moved backwards: "
-                    f"{message.payload} < {self.cycles_completed}"
+                    f"{message.payload} < {self.cycles_completed}",
                 )
+                return message
             self.cycles_completed = message.payload
         return message
 
@@ -163,6 +212,9 @@ class PerformanceData:
     cycles_completed: int
     samples: list[WindowSample] = field(default_factory=list)
     filtered_transactions: int = 0
+    #: Anomalies the emulator recovered from (lenient mode only; empty
+    #: on a strict, fault-free run).
+    degradation: tuple[DegradationRecord, ...] = ()
 
     @property
     def mpki(self) -> float:
@@ -179,21 +231,29 @@ class DragonheadEmulator:
 
     Attach to a :class:`~repro.core.fsb.FrontSideBus` as a snooper, or
     feed it trace chunks directly via :meth:`snoop_chunk`.
+
+    ``strict=False`` selects the lenient channel model: the AF
+    resynchronizes over protocol anomalies and the sampler interpolates
+    missed stat windows, with every recovery reported through
+    :attr:`degradation` instead of an exception — how the physical
+    platform, which could not raise on a flaky bus, had to behave.
     """
 
-    def __init__(self, config: DragonheadConfig) -> None:
+    def __init__(self, config: DragonheadConfig, strict: bool = True) -> None:
+        self.strict = strict
         self._build(config)
 
     def _build(self, config: DragonheadConfig) -> None:
         """(Re)program the FPGAs: fresh AF, CC banks, and CB sampler."""
         self.config = config
-        self.af = AddressFilter()
+        self.af = AddressFilter(strict=self.strict)
         self.banks = [
             SetAssociativeCache(config.bank_config(bank)) for bank in range(NUM_BANKS)
         ]
         self.sampler = WindowSampler(
             frequency_hz=config.frequency_hz,
             interval_us=config.host_read_interval_us,
+            interpolate=not self.strict,
         )
         self._line_shift = config.line_size.bit_length() - 1
 
@@ -256,6 +316,14 @@ class DragonheadEmulator:
             total = total.merge(bank.stats)
         return total
 
+    @property
+    def degradation(self) -> tuple[DegradationRecord, ...]:
+        """Recovered-anomaly records from the AF and the CB sampler."""
+        counts = dict(self.af.anomalies)
+        if self.sampler.interpolated_windows:
+            counts["window-interpolated"] = self.sampler.interpolated_windows
+        return records_from_counts(counts, RECOVERED)
+
     def read_performance_data(self) -> PerformanceData:
         """The host's CB read: configuration, counters, window samples."""
         self.sampler.finalize(
@@ -268,6 +336,7 @@ class DragonheadEmulator:
             cycles_completed=self.af.cycles_completed,
             samples=list(self.sampler.samples),
             filtered_transactions=self.af.filtered_transactions,
+            degradation=self.degradation,
         )
 
     def reset_statistics(self) -> None:
@@ -281,6 +350,7 @@ class DragonheadEmulator:
         self.sampler = WindowSampler(
             frequency_hz=self.config.frequency_hz,
             interval_us=self.config.host_read_interval_us,
+            interpolate=not self.strict,
         )
 
     def reconfigure(self, config: DragonheadConfig) -> None:

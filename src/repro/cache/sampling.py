@@ -50,10 +50,24 @@ class WindowSampler:
             shared LLC at 100 MHz; the guest cores are faster — the
             clock chosen here only sets the window granularity).
         interval_us: host read interval (paper: 500 µs).
+        interpolate: lenient-mode recovery for missed host reads.  When
+            one progress report crosses several window boundaries (the
+            host skipped a 500 µs poll), the default attributes the
+            whole delta to the first window and emits empty windows for
+            the rest; with ``interpolate=True`` the delta is spread
+            evenly across the missed windows instead, and each repaired
+            window is counted in :attr:`interpolated_windows`.
     """
 
-    def __init__(self, frequency_hz: float = 100e6, interval_us: float = 500.0) -> None:
+    def __init__(
+        self,
+        frequency_hz: float = 100e6,
+        interval_us: float = 500.0,
+        interpolate: bool = False,
+    ) -> None:
         self.cycles_per_window = max(1, int(frequency_hz * interval_us * 1e-6))
+        self.interpolate = interpolate
+        self.interpolated_windows = 0
         self.samples: list[WindowSample] = []
         self._last_stats = CacheStats()
         self._last_instructions = 0
@@ -67,6 +81,12 @@ class WindowSampler:
         sample per crossed window boundary (several boundaries may be
         crossed by a single coarse-grained message).
         """
+        crossed = 0
+        if self.interpolate and cycles_completed >= self._next_boundary:
+            crossed = 1 + (cycles_completed - self._next_boundary) // self.cycles_per_window
+        if crossed > 1:
+            self._advance_interpolated(crossed, instructions_retired, stats)
+            return
         while cycles_completed >= self._next_boundary:
             delta = stats.delta(self._last_stats)
             self.samples.append(
@@ -82,6 +102,38 @@ class WindowSampler:
             self._last_instructions = instructions_retired
             self._last_cycles = self._next_boundary
             self._next_boundary += self.cycles_per_window
+
+    def _advance_interpolated(
+        self, windows: int, instructions_retired: int, stats: CacheStats
+    ) -> None:
+        """Spread one oversized delta evenly over the windows it spans.
+
+        The host missed ``windows - 1`` reads; rather than reporting one
+        fat window followed by empties, reconstruct a plausible series
+        (integer division, remainders to the earliest windows — exactly
+        reproducible from the counters alone).
+        """
+        delta = stats.delta(self._last_stats)
+        instructions = instructions_retired - self._last_instructions
+
+        def split(total: int, index: int) -> int:
+            return total // windows + (1 if index < total % windows else 0)
+
+        for i in range(windows):
+            self.samples.append(
+                WindowSample(
+                    index=len(self.samples),
+                    cycles=self._next_boundary - self._last_cycles,
+                    instructions=split(instructions, i),
+                    accesses=split(delta.accesses, i),
+                    misses=split(delta.misses, i),
+                )
+            )
+            self._last_cycles = self._next_boundary
+            self._next_boundary += self.cycles_per_window
+        self.interpolated_windows += windows - 1
+        self._last_stats = stats.snapshot()
+        self._last_instructions = instructions_retired
 
     def finalize(self, cycles_completed: int, instructions_retired: int, stats: CacheStats) -> None:
         """Emit a final partial window at end of run, if non-empty."""

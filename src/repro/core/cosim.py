@@ -21,6 +21,8 @@ from repro.cache.stats import CacheStats
 from repro.core.fsb import FrontSideBus
 from repro.cache.sampling import WindowSample
 from repro.core.softsdv import GuestWorkload, SoftSDV
+from repro.faults.report import DegradationRecord, merge_records
+from repro.faults.spec import FaultSpec
 
 
 @dataclass(frozen=True)
@@ -33,6 +35,9 @@ class CoSimResult:
     instructions: int
     accesses: int
     filtered: int
+    #: Injected faults plus recovered anomalies for this run; empty on
+    #: a strict, fault-free run (the common case).
+    degradation: tuple[DegradationRecord, ...] = ()
 
     @property
     def llc_stats(self) -> CacheStats:
@@ -48,12 +53,23 @@ class CoSimResult:
         """Per-500 µs window statistics, as the host reads from CB."""
         return self.performance.samples
 
+    @property
+    def degraded(self) -> bool:
+        """Whether anything was injected into or recovered during the run."""
+        return bool(self.degradation)
+
 
 class CoSimPlatform:
     """A complete co-simulation platform instance.
 
     Create one per (cache configuration, run): like the hardware, the
     emulator's cache state and counters belong to a single experiment.
+
+    ``strict=False`` puts the emulator in lenient resync mode, and
+    ``fault_spec`` interposes a :class:`~repro.faults.injector.FaultInjector`
+    between the bus and the emulator's snoop port — together they model
+    the paper's real operating point: a lossy channel in front of a
+    filter built to survive it.
     """
 
     def __init__(
@@ -61,10 +77,21 @@ class CoSimPlatform:
         dragonhead: DragonheadConfig,
         quantum: int = 4096,
         boot_noise_accesses: int = 8192,
+        strict: bool = True,
+        fault_spec: FaultSpec | None = None,
     ) -> None:
         self.bus = FrontSideBus()
-        self.emulator = DragonheadEmulator(dragonhead)
-        self.bus.attach(self.emulator)
+        self.emulator = DragonheadEmulator(dragonhead, strict=strict)
+        self.injector = None
+        if fault_spec is not None and fault_spec.touches_bus:
+            from repro.faults.injector import FaultInjector
+
+            self.injector = FaultInjector(
+                self.emulator,
+                fault_spec,
+                point=(dragonhead.cache_size, dragonhead.line_size),
+            )
+        self.bus.attach(self.injector if self.injector is not None else self.emulator)
         self.softsdv = SoftSDV(
             self.bus, quantum=quantum, boot_noise_accesses=boot_noise_accesses
         )
@@ -72,7 +99,10 @@ class CoSimPlatform:
     def run(self, workload: GuestWorkload, cores: int) -> CoSimResult:
         """Run ``workload`` to completion on ``cores`` virtual cores."""
         scheduler = self.softsdv.run_workload(workload, cores)
+        if self.injector is not None:
+            self.injector.flush()
         performance = self.emulator.read_performance_data()
+        injected = self.injector.records if self.injector is not None else ()
         return CoSimResult(
             workload=workload.name,
             cores=cores,
@@ -80,6 +110,7 @@ class CoSimPlatform:
             instructions=scheduler.instructions_retired,
             accesses=performance.stats.accesses,
             filtered=performance.filtered_transactions,
+            degradation=merge_records(injected, performance.degradation),
         )
 
 

@@ -7,6 +7,12 @@ attached to the bus.  Ordinary data transactions and protocol messages
 :mod:`repro.protocol`) share the same wires — exactly the trick the
 paper's platform uses to let SoftSDV talk to the emulator without a
 side channel.
+
+The wires are not assumed perfect: a
+:class:`~repro.faults.injector.FaultInjector` implements the same
+:class:`BusSnooper` interface and can be attached in a snooper's place,
+modelling the lossy logic-analyzer channel the real platform's AF
+regulator was built to survive.
 """
 
 from __future__ import annotations
@@ -30,6 +36,18 @@ class FSBTransaction:
     def is_message(self) -> bool:
         """Whether this transaction encodes a protocol message."""
         return MessageCodec.is_message(self.address)
+
+    @property
+    def message_opcode(self) -> int | None:
+        """The raw opcode field for message transactions, else None.
+
+        A classification peek (no decoder state): lossy-channel shims
+        like :class:`~repro.faults.injector.FaultInjector` use it to
+        route stat-read messages to their own fault channel.
+        """
+        if not self.is_message:
+            return None
+        return MessageCodec.peek_opcode(self.address)
 
 
 class BusSnooper(Protocol):

@@ -31,6 +31,62 @@ class ProtocolError(ReproError):
     """
 
 
+class RecoverableProtocolError(ProtocolError):
+    """A protocol anomaly the lenient address filter resynchronized over.
+
+    The real platform's channel is lossy — Dragonhead passively snoops a
+    live front-side bus, so a message transaction can be dropped or
+    delayed in flight.  In lenient mode the address filter does not
+    raise on such anomalies; it records them as degradation and keeps
+    emulating.  This class exists so callers that *want* the anomaly as
+    an exception (strict mode, diagnostics) can still distinguish a
+    survivable de-synchronization from a hard protocol violation.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection plan was malformed or deliberately fired.
+
+    Raised when a ``--inject`` FAULTSPEC cannot be parsed, and by the
+    harness-level fault channels (worker crash/hang) when a plan tells a
+    sweep worker to fail — the software analog of a host CPU seizing
+    mid-run while the FPGAs keep snooping.
+    """
+
+
+class SweepPointError(ReproError):
+    """A sweep grid point failed; carries the offending item and cause.
+
+    A bare worker exception says nothing about *which* (workload ×
+    geometry) point died, which makes a 100-point sweep failure opaque.
+    The supervisor and ``parallel_map`` wrap worker errors in this class
+    so the failing point travels with the traceback.
+    """
+
+    def __init__(self, point: object, cause: BaseException, attempts: int = 1) -> None:
+        self.point = point
+        self.cause = cause
+        self.attempts = attempts
+        suffix = f" after {attempts} attempts" if attempts > 1 else ""
+        super().__init__(
+            f"sweep point {point!r} failed{suffix}: {type(cause).__name__}: {cause}"
+        )
+
+
+class SweepInterrupted(ReproError):
+    """A supervised sweep was interrupted (SIGINT) before completion.
+
+    Carries the partial results so the caller can print a drain report;
+    completed points are already journaled and a ``--resume`` run will
+    skip them.
+    """
+
+    def __init__(self, completed: int, total: int) -> None:
+        self.completed = completed
+        self.total = total
+        super().__init__(f"sweep interrupted: {completed}/{total} points completed")
+
+
 class TraceError(ReproError):
     """A memory trace was malformed or streams could not be combined."""
 

@@ -1,0 +1,39 @@
+"""Deterministic fault injection for the co-simulation platform.
+
+The paper's platform was engineered around an imperfect channel: the
+Dragonhead FPGAs passively snoop a live front-side bus, the AF FPGA
+regulates traffic precisely because transactions can be lost or
+delayed, and the host polls the CB statistics board on a 500 µs clock
+it can miss.  This package reproduces those failure modes in software
+so the reproduction can *study* them instead of crashing on them:
+
+* :class:`~repro.faults.spec.FaultSpec` — a parsed, seed-driven
+  ``--inject`` plan: per-channel rates plus one seed from which every
+  injection decision derives deterministically;
+* :class:`~repro.faults.injector.FaultInjector` — a shim implementing
+  the bus-snooper interface that sits between the FSB (or the replay
+  driver) and the emulator, injecting dropped/duplicated data
+  transactions, lost/reordered protocol messages, and missed CB
+  stat-window reads;
+* :mod:`~repro.faults.report` — degradation records: every injected
+  fault and every recovered anomaly, merged into the report the CLIs
+  print.
+
+Determinism is the design center: the same seed and the same grid point
+always produce the same faults, so two lenient runs of an injected
+sweep yield identical recovered statistics (the property the tests
+assert), and a ``--resume`` after a crash replays precisely the faults
+the interrupted run would have seen.
+"""
+
+from repro.faults.injector import FaultInjector, inject_trace_corruption
+from repro.faults.report import DegradationRecord, merge_records
+from repro.faults.spec import FaultSpec
+
+__all__ = [
+    "DegradationRecord",
+    "FaultInjector",
+    "FaultSpec",
+    "inject_trace_corruption",
+    "merge_records",
+]

@@ -1,0 +1,173 @@
+"""The bus-level fault injector: a lossy channel between FSB and emulator.
+
+:class:`FaultInjector` implements the same passive-snooper interface as
+the Dragonhead emulator and wraps a downstream snooper (the emulator,
+or the replay recorder), perturbing the transaction stream on its way
+through:
+
+* **data transactions** can be dropped (the logic-analyzer interface
+  missed a bus cycle) or duplicated (a retried bus transaction snooped
+  twice);
+* **protocol messages** can be lost in flight or delayed past the next
+  transaction — the adjacent reordering a deep regulator FIFO produces;
+* **CB stat reads** (CYCLES_COMPLETED messages, which pace the 500 µs
+  window sampler) can be missed, as a host polling on a soft timer
+  does.
+
+Every decision comes from one deterministic stream derived from the
+:class:`~repro.faults.spec.FaultSpec` seed and the grid point, and
+every injected fault is counted, so the degradation report can prove
+that what was injected was survived.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.faults.report import INJECTED, DegradationRecord, records_from_counts
+from repro.faults.spec import FaultSpec
+from repro.protocol import MessageCodec, MessageKind
+from repro.trace.record import TraceChunk
+
+if TYPE_CHECKING:  # import cycle: core.fsb ← core ← cosim ← faults
+    from repro.core.fsb import FSBTransaction
+
+
+class FaultInjector:
+    """A faulty bus segment in front of one snooper.
+
+    Attach it to a :class:`~repro.core.fsb.FrontSideBus` in place of the
+    snooper it wraps, or hand it to the replay driver as the emulation
+    port.  Call :meth:`flush` once the stream ends so a delayed message
+    still arrives (merely late) instead of vanishing.
+    """
+
+    def __init__(
+        self, downstream, spec: FaultSpec, point: object = ""
+    ) -> None:
+        self.downstream = downstream
+        self.spec = spec
+        self._rng = spec.rng(point, "bus")
+        self._stash: FSBTransaction | None = None
+        self.counts: dict[str, int] = {}
+
+    # -- accounting ----------------------------------------------------
+
+    def _count(self, kind: str, n: int = 1) -> None:
+        if n:
+            self.counts[kind] = self.counts.get(kind, 0) + n
+
+    @property
+    def records(self) -> tuple[DegradationRecord, ...]:
+        """Everything this injector did to the stream, as records."""
+        return records_from_counts(self.counts, INJECTED)
+
+    # -- BusSnooper interface ------------------------------------------
+
+    def snoop(self, transaction: FSBTransaction) -> None:
+        if transaction.is_message:
+            self._snoop_message(transaction)
+        else:
+            self._snoop_data(transaction)
+
+    def snoop_chunk(self, chunk: TraceChunk) -> None:
+        spec = self.spec
+        n = len(chunk)
+        if n and (spec.drop_data > 0.0 or spec.dup_data > 0.0):
+            draws = self._rng.random(n)
+            drop = draws < spec.drop_data
+            dup = (draws >= spec.drop_data) & (
+                draws < spec.drop_data + spec.dup_data
+            )
+            if drop.any() or dup.any():
+                copies = np.ones(n, dtype=np.intp)
+                copies[drop] = 0
+                copies[dup] = 2
+                chunk = TraceChunk(
+                    np.repeat(chunk.addresses, copies),
+                    np.repeat(chunk.kinds, copies),
+                    np.repeat(chunk.cores, copies),
+                    np.repeat(chunk.pcs, copies),
+                )
+                self._count("data-drop", int(np.count_nonzero(drop)))
+                self._count("data-dup", int(np.count_nonzero(dup)))
+        self.downstream.snoop_chunk(chunk)
+        self._release()
+
+    def flush(self) -> None:
+        """Deliver any still-delayed message; call at end of stream."""
+        self._release()
+
+    # -- fault channels ------------------------------------------------
+
+    def _snoop_message(self, transaction: FSBTransaction) -> None:
+        spec = self.spec
+        opcode = MessageCodec.peek_opcode(transaction.address)
+        # Stat reads have their own loss channel (the host's 500 µs poll
+        # is the thing that misses); every other message rides drop-msg.
+        if opcode == int(MessageKind.CYCLES_COMPLETED):
+            drop_rate, drop_kind = spec.miss_window, "window-miss"
+        else:
+            drop_rate, drop_kind = spec.drop_message, "msg-drop"
+        draw = float(self._rng.random())
+        if draw < drop_rate:
+            self._count(drop_kind)
+            return
+        if self._stash is None and draw < drop_rate + spec.reorder_message:
+            self._stash = transaction
+            self._count("msg-reorder")
+            return
+        self._deliver(transaction)
+
+    def _snoop_data(self, transaction: FSBTransaction) -> None:
+        spec = self.spec
+        if spec.drop_data <= 0.0 and spec.dup_data <= 0.0:
+            self._deliver(transaction)
+            return
+        draw = float(self._rng.random())
+        if draw < spec.drop_data:
+            self._count("data-drop")
+            self._release()  # bus time still passes for a lost cycle
+            return
+        self._deliver(transaction)
+        if draw < spec.drop_data + spec.dup_data:
+            self._count("data-dup")
+            self.downstream.snoop(transaction)
+
+    # -- delivery ------------------------------------------------------
+
+    def _deliver(self, transaction: FSBTransaction) -> None:
+        self.downstream.snoop(transaction)
+        self._release()
+
+    def _release(self) -> None:
+        """Emit a delayed message after whatever overtook it."""
+        if self._stash is not None:
+            stashed, self._stash = self._stash, None
+            self.downstream.snoop(stashed)
+
+
+def inject_trace_corruption(cache, key: str, rng: np.random.Generator) -> bool:
+    """Flip one payload byte in an on-disk trace-cache entry.
+
+    Models a bit error in the capture archive.  Returns True when an
+    entry existed and was damaged; the cache's CRC validation detects
+    the flip on the next load, quarantines the entry, and regenerates —
+    observable as ``corrupt``/``quarantined`` on its counter line.
+    """
+    entry = cache.entry_dir(key)
+    arrays = sorted(entry.glob("*.npy")) if entry.is_dir() else []
+    if not arrays:
+        return False
+    target = arrays[int(rng.integers(len(arrays)))]
+    data = bytearray(target.read_bytes())
+    # Stay clear of the .npy header so the flip lands in array payload
+    # (header damage would also be caught, but payload damage is the
+    # silent kind that only a checksum finds).
+    floor = min(128, len(data) - 1)
+    offset = int(rng.integers(floor, len(data)))
+    data[offset] ^= 0xFF
+    target.write_bytes(data)
+    return True

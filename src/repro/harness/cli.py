@@ -30,7 +30,12 @@ from fractions import Fraction
 
 from repro.cache.emulator import DragonheadConfig
 from repro.core.phases import phase_summary
-from repro.harness.replay import replay_sweep
+from repro.errors import SweepInterrupted
+from repro.faults.report import merge_records
+from repro.faults.spec import parse_fault_spec
+from repro.harness.replay import log_cache_key, replay_sweep
+from repro.harness.report import render_degradation_report
+from repro.harness.supervisor import SupervisorPolicy, SweepJournal, supervise
 from repro.trace.cache import resolve_trace_cache
 from repro.units import format_size, parse_size
 from repro.workloads.profiles import WORKLOAD_NAMES
@@ -90,6 +95,55 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for a multi-size sweep (0 = one per CPU)",
     )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--strict",
+        dest="lenient",
+        action="store_false",
+        help="raise on any protocol anomaly (the default)",
+    )
+    mode.add_argument(
+        "--lenient",
+        dest="lenient",
+        action="store_true",
+        help="resynchronize on protocol anomalies instead of raising; "
+        "recovered anomalies appear in the degradation report",
+    )
+    parser.set_defaults(lenient=False)
+    parser.add_argument(
+        "--inject",
+        metavar="FAULTSPEC",
+        default=None,
+        help="deterministic fault injection, e.g. "
+        "'seed=42,drop-data=0.001,miss-window=0.05' "
+        "(see docs/architecture.md for the channel taxonomy)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-point wall-clock budget for sweep workers "
+        "(needs --jobs > 1 to be enforceable)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="re-runs granted to a failing sweep point (default: 2)",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="FILE",
+        default=None,
+        help="checkpoint completed sweep points to FILE (JSONL)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip points already recorded in --journal FILE",
+    )
     return parser
 
 
@@ -114,15 +168,42 @@ def main(argv: list[str] | None = None) -> int:
             "scale": str(args.scale),
         }
     trace_cache = resolve_trace_cache(args.trace_cache)
-    results = replay_sweep(
-        guest,
-        args.cores,
-        configs,
-        quantum=args.quantum,
-        jobs=args.jobs,
-        trace_cache=trace_cache,
-        key_extra=key_extra,
-    )
+    fault_spec = parse_fault_spec(args.inject)
+    if args.resume and not args.journal:
+        build_parser().error("--resume requires --journal FILE")
+
+    if fault_spec is not None and fault_spec.corrupt_trace and trace_cache is not None:
+        from repro.faults.injector import inject_trace_corruption
+
+        key = log_cache_key(guest.name, args.cores, args.quantum, 8192, key_extra)
+        damaged = sum(
+            inject_trace_corruption(trace_cache, key, fault_spec.rng("corrupt-trace", i))
+            for i in range(fault_spec.corrupt_trace)
+        )
+        if damaged:
+            print(f"injected trace corruption into {damaged} cache entry file(s)")
+
+    policy = SupervisorPolicy(timeout=args.timeout, retries=args.retries)
+    journal = SweepJournal(args.journal, resume=args.resume) if args.journal else None
+    try:
+        with supervise(policy, journal=journal, fault_spec=fault_spec) as ctx:
+            results = replay_sweep(
+                guest,
+                args.cores,
+                configs,
+                quantum=args.quantum,
+                jobs=args.jobs,
+                trace_cache=trace_cache,
+                key_extra=key_extra,
+                spec=fault_spec,
+                lenient=args.lenient,
+            )
+    except SweepInterrupted as interrupted:
+        print(f"interrupted: {interrupted}")
+        return 130
+    finally:
+        if journal is not None:
+            journal.close()
 
     print(f"{workload.name} on {args.cores} cores — {workload.description}")
     if len(results) == 1:
@@ -159,6 +240,12 @@ def main(argv: list[str] | None = None) -> int:
             )
     if trace_cache is not None:
         print(f"  trace cache          : {trace_cache.stats.describe()} ({trace_cache.root})")
+    if fault_spec is not None or args.lenient:
+        merged = merge_records(*(result.degradation for result in results))
+        print()
+        print(render_degradation_report(merged))
+        if ctx.counts:
+            print(f"supervisor events: {ctx.describe()}")
     return 0
 
 

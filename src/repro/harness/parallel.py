@@ -17,6 +17,14 @@ exhibit's ``main(jobs=...)``; ``jobs=None`` (the default everywhere)
 means serial, which keeps single-exhibit programmatic use and the test
 suite free of process-pool overhead, and ``--jobs 0`` asks for one
 worker per CPU.
+
+Failure handling: a worker exception is wrapped in
+:class:`~repro.errors.SweepPointError` carrying the offending grid
+point, so a 100-point sweep never fails anonymously.  When a
+:func:`~repro.harness.supervisor.supervise` context is active (as under
+``repro-runall``), the map is executed by the fault-tolerant
+supervisor instead — timeouts, retries, crash recovery, journaling —
+with identical ordering and, on a fault-free run, identical results.
 """
 
 from __future__ import annotations
@@ -24,6 +32,8 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, TypeVar
+
+from repro.errors import SweepPointError
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -53,10 +63,32 @@ def parallel_map(
     map runs inline with no pool.  ``task`` must be a module-level
     function and every item picklable, because both cross a process
     boundary when ``jobs`` asks for real parallelism.
+
+    A failing point raises :class:`SweepPointError` naming the item;
+    under an active supervisor context the supervised executor runs the
+    map instead (same ordering, same fault-free results).
     """
+    from repro.harness.supervisor import active_context, supervised_map
+
     work = list(items)
+    context = active_context()
+    if context is not None:
+        return supervised_map(task, work, jobs=jobs, context=context)
     workers = min(resolve_jobs(jobs), len(work))
     if workers <= 1:
-        return [task(item) for item in work]
+        results: list[R] = []
+        for item in work:
+            try:
+                results.append(task(item))
+            except Exception as error:
+                raise SweepPointError(item, error) from error
+        return results
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(task, work))
+        futures = [pool.submit(task, item) for item in work]
+        results = []
+        for item, future in zip(work, futures):
+            try:
+                results.append(future.result())
+            except Exception as error:
+                raise SweepPointError(item, error) from error
+        return results

@@ -45,6 +45,8 @@ from repro.core.cosim import CoSimResult
 from repro.core.fsb import FrontSideBus, FSBTransaction
 from repro.core.softsdv import GuestWorkload, SoftSDV
 from repro.errors import TraceError
+from repro.faults.report import merge_records
+from repro.faults.spec import FaultSpec
 from repro.protocol import Message, MessageCodec, MessageKind
 from repro.trace.cache import TraceCache, cache_key
 from repro.trace.record import AccessKind, TraceChunk
@@ -275,24 +277,29 @@ def capture_replay_log(
 # -- replaying one configuration --------------------------------------
 
 
-def _issue_message(emulator: DragonheadEmulator, message: Message) -> None:
-    """Re-encode a protocol message onto the emulator's snoop port."""
+def _issue_message(port, message: Message) -> None:
+    """Re-encode a protocol message onto a snoop port."""
     for address in MessageCodec.encode(message):
-        emulator.snoop(FSBTransaction(address=address, kind=AccessKind.WRITE))
+        port.snoop(FSBTransaction(address=address, kind=AccessKind.WRITE))
 
 
-def replay_into(log: ReplayLog, emulator: DragonheadEmulator) -> None:
-    """Drive ``emulator`` with a captured log, through its public port.
+def replay_into(log: ReplayLog, port) -> None:
+    """Drive a snoop port with a captured log, through its public face.
 
-    The protocol messages are re-encoded and re-decoded, so the AF's
-    session checks, counter monotonicity guards, and window sampling
-    behave exactly as on a live bus.
+    ``port`` is anything with the BusSnooper interface — usually a
+    :class:`DragonheadEmulator`, optionally behind a
+    :class:`~repro.faults.injector.FaultInjector`.  The protocol
+    messages are re-encoded and re-decoded, so the AF's session checks,
+    counter monotonicity guards, and window sampling behave exactly as
+    on a live bus.
     """
     # Out-of-window traffic never reaches the banks; only its count is
     # architecturally visible, so restore the counter instead of
-    # replaying thousands of discarded noise transactions.
-    emulator.af.filtered_transactions += log.filtered
-    _issue_message(emulator, Message(MessageKind.START_EMULATION))
+    # replaying thousands of discarded noise transactions.  The counter
+    # lives on the emulator's AF, behind whatever wraps it.
+    af_owner = getattr(port, "downstream", port)
+    af_owner.af.filtered_transactions += log.filtered
+    _issue_message(port, Message(MessageKind.START_EMULATION))
     addresses = log.addresses
     kinds = log.kinds
     pcs = log.pcs
@@ -302,23 +309,49 @@ def replay_into(log: ReplayLog, emulator: DragonheadEmulator) -> None:
         if int(opcode) == EVENT_DATA:
             end, core = int(a), int(b)
             if core != current_core:
-                _issue_message(emulator, Message(MessageKind.CORE_ID, core))
+                _issue_message(port, Message(MessageKind.CORE_ID, core))
                 current_core = core
-            emulator.snoop_chunk(
+            port.snoop_chunk(
                 TraceChunk(addresses[start:end], kinds[start:end], core, pcs[start:end])
             )
             start = end
         else:
-            _issue_message(emulator, Message(MessageKind.INSTRUCTIONS_RETIRED, int(a)))
-            _issue_message(emulator, Message(MessageKind.CYCLES_COMPLETED, int(b)))
-    _issue_message(emulator, Message(MessageKind.STOP_EMULATION))
+            _issue_message(port, Message(MessageKind.INSTRUCTIONS_RETIRED, int(a)))
+            _issue_message(port, Message(MessageKind.CYCLES_COMPLETED, int(b)))
+    _issue_message(port, Message(MessageKind.STOP_EMULATION))
 
 
-def replay(log: ReplayLog, config: DragonheadConfig) -> CoSimResult:
-    """One configuration's worth of a sweep: fresh emulator, one pass."""
-    emulator = DragonheadEmulator(config)
-    replay_into(log, emulator)
+def replay(
+    log: ReplayLog,
+    config: DragonheadConfig,
+    spec: FaultSpec | None = None,
+    lenient: bool = False,
+) -> CoSimResult:
+    """One configuration's worth of a sweep: fresh emulator, one pass.
+
+    ``lenient`` puts the emulator in resync mode; ``spec`` interposes a
+    :class:`~repro.faults.injector.FaultInjector` between the replayed
+    stream and the emulator's snoop port, keyed to the grid point so
+    every (workload, cores, config) gets its own deterministic fault
+    stream regardless of worker count or replay order.
+    """
+    emulator = DragonheadEmulator(config, strict=not lenient)
+    port = emulator
+    injector = None
+    if spec is not None and spec.touches_bus:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(
+            emulator,
+            spec,
+            point=(log.workload, log.cores, config.cache_size, config.line_size),
+        )
+        port = injector
+    replay_into(log, port)
+    if injector is not None:
+        injector.flush()
     performance = emulator.read_performance_data()
+    injected = injector.records if injector is not None else ()
     return CoSimResult(
         workload=log.workload,
         cores=log.cores,
@@ -326,6 +359,7 @@ def replay(log: ReplayLog, config: DragonheadConfig) -> CoSimResult:
         instructions=log.instructions,
         accesses=performance.stats.accesses,
         filtered=performance.filtered_transactions,
+        degradation=merge_records(injected, performance.degradation),
     )
 
 
@@ -413,10 +447,12 @@ class _LogHandle:
         return ReplayLog.from_payload(manifest["meta"], arrays)
 
 
-def _replay_task(task: tuple[_LogHandle, DragonheadConfig]) -> CoSimResult:
+def _replay_task(
+    task: tuple[_LogHandle, DragonheadConfig, FaultSpec | None, bool]
+) -> CoSimResult:
     """One (log, config) replay — module-level so it crosses processes."""
-    handle, config = task
-    return replay(handle.resolve(), config)
+    handle, config, spec, lenient = task
+    return replay(handle.resolve(), config, spec=spec, lenient=lenient)
 
 
 def replay_map(
@@ -424,24 +460,37 @@ def replay_map(
     configs: Sequence[DragonheadConfig],
     jobs: int | None = None,
     entry_dir: str | None = None,
+    spec: FaultSpec | None = None,
+    lenient: bool = False,
 ) -> list[CoSimResult]:
     """Fan one captured log out to every configuration.
 
     With ``jobs`` > 1 the configurations split across worker processes;
     when the log lives in a trace cache (``entry_dir``), workers
     memory-map it from disk instead of receiving pickled copies, so the
-    log exists once no matter how wide the fan-out.
+    log exists once no matter how wide the fan-out.  ``spec`` and
+    ``lenient`` ride along to every point (the injector re-seeds itself
+    per grid point, so fan-out width never changes the fault stream).
     """
     configs = list(configs)
-    if resolve_jobs(jobs) <= 1 or len(configs) < 2:
-        return [replay(log, config) for config in configs]
+    from repro.harness.supervisor import active_context
+
+    # With no supervisor installed, a serial sweep skips the map
+    # machinery entirely; under supervision even a serial sweep routes
+    # through the supervised map so journaling and retries apply.
+    if active_context() is None and (resolve_jobs(jobs) <= 1 or len(configs) < 2):
+        return [
+            replay(log, config, spec=spec, lenient=lenient) for config in configs
+        ]
     handle = (
         _LogHandle(entry_dir=entry_dir)
         if entry_dir is not None
         else _LogHandle(log=log)
     )
     return parallel_map(
-        _replay_task, [(handle, config) for config in configs], jobs=jobs
+        _replay_task,
+        [(handle, config, spec, lenient) for config in configs],
+        jobs=jobs,
     )
 
 
@@ -454,6 +503,8 @@ def replay_sweep(
     jobs: int | None = None,
     trace_cache: TraceCache | None = None,
     key_extra: Mapping[str, object] | None = None,
+    spec: FaultSpec | None = None,
+    lenient: bool = False,
 ) -> list[CoSimResult]:
     """The engine's front door: one generation pass, N configurations.
 
@@ -469,7 +520,9 @@ def replay_sweep(
         trace_cache=trace_cache,
         key_extra=key_extra,
     )
-    return replay_map(log, configs, jobs=jobs, entry_dir=entry_dir)
+    return replay_map(
+        log, configs, jobs=jobs, entry_dir=entry_dir, spec=spec, lenient=lenient
+    )
 
 
 def size_sweep_configs(

@@ -44,6 +44,26 @@ def sparkline(values: Sequence[float]) -> str:
     return "".join(_SPARK[int((v - low) * scale)] for v in values)
 
 
+def render_degradation_report(
+    records: Sequence[object], title: str = "Degradation report"
+) -> str:
+    """Render injected-fault / recovered-anomaly records as a table.
+
+    ``records`` are :class:`~repro.faults.report.DegradationRecord`
+    instances (already merged/sorted by the producer).  Empty input
+    renders a single "none" line, so callers can print unconditionally
+    under ``--inject`` / ``--lenient`` and a clean run stays obviously
+    clean.
+    """
+    if not records:
+        return f"{title}: none"
+    rows = [
+        [record.kind, record.source, record.count, record.detail]
+        for record in records
+    ]
+    return render_table(["kind", "source", "count", "detail"], rows, title=title)
+
+
 def render_series_table(
     axis_label: str,
     axis_values: Sequence[str],

@@ -7,13 +7,26 @@ ablations, the bandwidth demand table); ``--csv DIR`` also writes every
 exhibit as CSV for downstream analysis; ``--jobs N`` fans the sweep
 grids out over N worker processes (``0`` = one per CPU) with output
 byte-identical to the serial run — see :mod:`repro.harness.parallel`.
+
+Every sweep grid runs under the fault-tolerant supervisor
+(:mod:`repro.harness.supervisor`): ``--timeout``/``--retries`` bound
+misbehaving points, ``--journal``/``--resume`` checkpoint completed
+points so a killed run restarts where it stopped, ``--inject`` plants
+deterministic harness faults (worker crash/hang) to exercise the
+recovery paths, and ``--lenient`` degrades gracefully — a point or
+exhibit that exhausts its retries is reported and skipped instead of
+aborting the whole evaluation.  Ctrl-C drains to a partial-results
+report and exits 130.
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import sys
 
+from repro.errors import SweepInterrupted, SweepPointError
+from repro.faults.spec import parse_fault_spec
 from repro.harness import (
     ablations,
     bandwidth_study,
@@ -26,6 +39,7 @@ from repro.harness import (
     table1,
     table2,
 )
+from repro.harness.supervisor import SupervisorPolicy, SweepJournal, supervise
 
 PAPER_EXHIBITS = (table1, table2, fig4, fig5, fig6, fig7, fig8)
 EXTENDED_EXHIBITS = (projection, ablations, bandwidth_study)
@@ -59,19 +73,95 @@ def main(argv: list[str] | None = None) -> int:
         help="reuse captured co-simulation traces across runs via the "
         "content-addressed cache in DIR (default: $REPRO_TRACE_CACHE)",
     )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--strict",
+        dest="lenient",
+        action="store_false",
+        help="abort the whole run on the first failing point (default)",
+    )
+    mode.add_argument(
+        "--lenient",
+        dest="lenient",
+        action="store_true",
+        help="report and skip an exhibit whose sweep exhausts its "
+        "retries, instead of aborting the run",
+    )
+    parser.set_defaults(lenient=False)
+    parser.add_argument(
+        "--inject",
+        metavar="FAULTSPEC",
+        default=None,
+        help="deterministic harness fault injection for the sweeps, "
+        "e.g. 'seed=7,crash=0.2,hang=0.1,hang-seconds=2'",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-point wall-clock budget for sweep workers "
+        "(needs --jobs > 1 to be enforceable)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="re-runs granted to a failing sweep point (default: 2)",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="FILE",
+        default=None,
+        help="checkpoint completed sweep points to FILE "
+        "(default with --resume: .repro-runall.jsonl)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip points already checkpointed in the journal",
+    )
     args = parser.parse_args(argv)
     from repro.trace.cache import resolve_trace_cache
 
     trace_cache = resolve_trace_cache(args.trace_cache)
+    fault_spec = parse_fault_spec(args.inject)
+    journal_path = args.journal or (".repro-runall.jsonl" if args.resume else None)
+    journal = (
+        SweepJournal(journal_path, resume=args.resume) if journal_path else None
+    )
+    policy = SupervisorPolicy(timeout=args.timeout, retries=args.retries)
     exhibits = PAPER_EXHIBITS + (EXTENDED_EXHIBITS if args.extended else ())
-    for exhibit in exhibits:
-        kwargs: dict[str, object] = {"jobs": args.jobs}
-        # Exact-path exhibits accept the trace cache; the closed-form
-        # model exhibits have nothing to cache and don't take the knob.
-        if "trace_cache" in inspect.signature(exhibit.main).parameters:
-            kwargs["trace_cache"] = trace_cache
-        exhibit.main(**kwargs)
-        print()
+    degraded: list[str] = []
+    try:
+        with supervise(policy, journal=journal, fault_spec=fault_spec) as context:
+            for exhibit in exhibits:
+                kwargs: dict[str, object] = {"jobs": args.jobs}
+                # Exact-path exhibits accept the trace cache; the
+                # closed-form model exhibits have nothing to cache and
+                # don't take the knob.
+                if "trace_cache" in inspect.signature(exhibit.main).parameters:
+                    kwargs["trace_cache"] = trace_cache
+                try:
+                    exhibit.main(**kwargs)
+                except SweepPointError as error:
+                    if not args.lenient:
+                        raise
+                    name = exhibit.__name__.rsplit(".", 1)[-1]
+                    degraded.append(name)
+                    print(f"[degraded] exhibit {name} skipped: {error}")
+                print()
+    except SweepInterrupted as interrupted:
+        print(f"interrupted: {interrupted}", file=sys.stderr)
+        return 130
+    finally:
+        if journal is not None:
+            journal.close()
+    if context.counts:
+        print(f"supervisor events: {context.describe()}")
+    if degraded:
+        print(f"degraded exhibits: {', '.join(degraded)}")
     if args.csv:
         from repro.harness.export import export_all
 

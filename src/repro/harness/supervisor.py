@@ -1,0 +1,564 @@
+"""Fault-tolerant supervised execution of sweep grids.
+
+``parallel_map`` fans a grid over a process pool and hopes: one worker
+exception, one hung point, or one ``BrokenProcessPool`` kills the whole
+sweep with nothing to show for hours of finished points.  The paper's
+platform could not afford that posture — a passive FPGA snooping a live
+bus *will* see faults — and neither can a long ``repro-runall``.  This
+module is the harness-level counterpart of the lenient address filter:
+it assumes points can fail and makes the sweep survive them.
+
+The supervisor wraps the same process-pool machinery with
+
+* **per-point wall-clock timeouts** — a hung worker is terminated, the
+  pool respawned, and only the victim point re-queued;
+* **bounded retries with exponential backoff** — transient failures
+  (including injected worker crashes and hangs) are re-run up to
+  ``retries`` times before the point is declared dead;
+* **``BrokenProcessPool`` recovery** — a worker dying mid-sweep costs
+  one pool respawn and re-runs only the points that were in flight;
+* **a journaled checkpoint file** — every completed point is appended
+  to a JSONL journal keyed by content (task identity + pickled item),
+  so ``--resume`` skips finished work after a crash or a Ctrl-C;
+* **SIGINT-safe drain** — an interrupt terminates workers, flushes the
+  journal, prints a partial-results report, and raises
+  :class:`~repro.errors.SweepInterrupted` so callers can exit cleanly.
+
+The determinism contract survives supervision: results are assembled in
+item order, every task is a pure function of its argument, and on a
+fault-free run the returned list is exactly what ``parallel_map``
+produces — byte-identical output for ``repro-runall --jobs N``.
+
+:func:`supervise` installs an ambient :class:`SupervisorContext`; while
+one is active, every ``parallel_map`` call in the process routes
+through :func:`supervised_map`, so exhibit harnesses gain supervision
+without threading new parameters through their signatures.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import sys
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.errors import (
+    FaultInjectionError,
+    SweepInterrupted,
+    SweepPointError,
+)
+from repro.faults.spec import FaultSpec
+from repro.harness.parallel import resolve_jobs
+
+#: Journal schema version (first line of every journal file).
+JOURNAL_FORMAT = 1
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """How a supervised sweep treats misbehaving points.
+
+    Attributes:
+        timeout: per-point wall-clock budget in seconds (None = no
+            limit).  Only enforceable with real worker processes; the
+            serial path documents-and-ignores it.
+        retries: re-runs granted to a failing point after its first
+            attempt.
+        backoff_base: first retry delay in seconds; attempt ``k`` waits
+            ``backoff_base * 2**(k-1)``, capped at ``backoff_cap``.
+        backoff_cap: upper bound on any single backoff delay.
+        failure_value: graceful-degradation substitute for a point that
+            exhausts its retries.  The sentinel default means *no*
+            degradation: the sweep raises :class:`SweepPointError`.
+    """
+
+    timeout: float | None = None
+    retries: int = 2
+    backoff_base: float = 0.25
+    backoff_cap: float = 8.0
+    failure_value: Any = _UNSET
+
+    @property
+    def degrades(self) -> bool:
+        """Whether exhausted points degrade instead of raising."""
+        return self.failure_value is not _UNSET
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint of completed grid points.
+
+    Each line records one point: a content key (task identity plus the
+    pickled item, hashed) and the pickled result, base85-encoded so the
+    file stays line-oriented and greppable.  Appending is crash-safe in
+    the way that matters: a torn final line is detected on load and
+    ignored, costing one recomputed point.
+    """
+
+    def __init__(self, path: str | os.PathLike, resume: bool = False) -> None:
+        self.path = Path(path)
+        self.entries: dict[str, Any] = {}
+        if resume and self.path.exists():
+            self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "a" if resume else "w"
+        self._handle = open(self.path, mode, encoding="utf-8")
+        if not resume or self._handle.tell() == 0:
+            self._write_line({"format": JOURNAL_FORMAT})
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                    if "key" in row:
+                        self.entries[row["key"]] = pickle.loads(
+                            base64.b85decode(row["result"])
+                        )
+                except (ValueError, KeyError, pickle.UnpicklingError, EOFError):
+                    continue  # torn tail line from a crash: skip it
+
+    def _write_line(self, row: dict) -> None:
+        self._handle.write(json.dumps(row, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    @staticmethod
+    def point_key(task: Callable, item: Any) -> str:
+        """Content key of one grid point: task identity + pickled item."""
+        identity = f"{task.__module__}.{task.__qualname__}".encode("utf-8")
+        payload = pickle.dumps(item, protocol=4)
+        return hashlib.sha256(identity + b"\x1f" + payload).hexdigest()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.entries
+
+    def get(self, key: str) -> Any:
+        return self.entries[key]
+
+    def record(self, key: str, result: Any) -> None:
+        """Checkpoint one completed point (idempotent per key)."""
+        self.entries[key] = result
+        encoded = base64.b85encode(pickle.dumps(result, protocol=4)).decode("ascii")
+        self._write_line({"key": key, "result": encoded})
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass
+class SupervisorContext:
+    """Ambient supervision state shared by every map under one sweep."""
+
+    policy: SupervisorPolicy = field(default_factory=SupervisorPolicy)
+    journal: SweepJournal | None = None
+    fault_spec: FaultSpec | None = None
+    #: Aggregated event counters across all supervised maps:
+    #: journal-skip, worker-crash, worker-hang-injected, point-timeout,
+    #: point-retry, point-degraded, pool-respawn.
+    counts: dict[str, int] = field(default_factory=dict)
+    completed: int = 0
+    total: int = 0
+
+    def count(self, kind: str, n: int = 1) -> None:
+        if n:
+            self.counts[kind] = self.counts.get(kind, 0) + n
+
+    def describe(self) -> str:
+        """One-line event summary (empty when nothing noteworthy happened)."""
+        return " ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+
+
+_ACTIVE: SupervisorContext | None = None
+
+
+def active_context() -> SupervisorContext | None:
+    """The installed supervisor context, if a sweep is being supervised."""
+    return _ACTIVE
+
+
+@contextmanager
+def supervise(
+    policy: SupervisorPolicy | None = None,
+    journal: SweepJournal | None = None,
+    fault_spec: FaultSpec | None = None,
+) -> Iterator[SupervisorContext]:
+    """Install a supervisor context for the duration of a sweep.
+
+    While active, every :func:`repro.harness.parallel.parallel_map` call
+    routes through :func:`supervised_map` with this context — the
+    exhibit harnesses need no new parameters to become fault-tolerant.
+    """
+    global _ACTIVE
+    context = SupervisorContext(
+        policy=policy or SupervisorPolicy(),
+        journal=journal,
+        fault_spec=fault_spec,
+    )
+    previous = _ACTIVE
+    _ACTIVE = context
+    try:
+        yield context
+    finally:
+        _ACTIVE = previous
+
+
+# -- worker-side entry ---------------------------------------------------
+
+
+def _run_point(task: Callable, item: Any, fault: str | None, hang_seconds: float):
+    """Execute one grid point in a worker, applying any planned fault.
+
+    An injected *crash* kills the worker process outright (the honest
+    analog of a segfaulting host — it must surface as
+    ``BrokenProcessPool``, not as a tidy exception); an injected *hang*
+    stalls for ``hang_seconds`` before running the point, so an untimed
+    sweep still finishes, merely late.
+    """
+    if fault == "crash":
+        os._exit(73)
+    elif fault == "hang":
+        time.sleep(hang_seconds)
+    return task(item)
+
+
+# -- the supervised map --------------------------------------------------
+
+
+@dataclass
+class _Flight:
+    """Bookkeeping for one in-flight point."""
+
+    index: int
+    deadline: float | None
+
+
+def _terminate(executor: ProcessPoolExecutor) -> None:
+    """Abandon a pool, killing its workers (hung ones included)."""
+    executor.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except (OSError, ValueError):
+            pass
+
+
+def supervised_map(
+    task: Callable,
+    items: list,
+    jobs: int | None = None,
+    context: SupervisorContext | None = None,
+) -> list:
+    """Map ``task`` over ``items`` under supervision; ordered results.
+
+    The fault-free fast path returns exactly what ``parallel_map``
+    would.  Under faults, points are retried with backoff, hung or
+    crashed workers cost a pool respawn plus re-runs of only the
+    affected points, completed points are journaled as they finish, and
+    SIGINT drains to a partial report plus :class:`SweepInterrupted`.
+    """
+    context = context or active_context() or SupervisorContext()
+    policy = context.policy
+    work = list(items)
+    n = len(work)
+    context.total += n
+    results: list[Any] = [_UNSET] * n
+
+    need_keys = context.journal is not None or context.fault_spec is not None
+    keys = [SweepJournal.point_key(task, item) for item in work] if need_keys else None
+
+    pending: list[int] = []
+    for i in range(n):
+        if context.journal is not None and keys[i] in context.journal:
+            results[i] = context.journal.get(keys[i])
+            context.count("journal-skip")
+            context.completed += 1
+        else:
+            pending.append(i)
+    if not pending:
+        return results
+
+    workers = min(resolve_jobs(jobs), len(pending))
+    if workers <= 1:
+        _run_serial(task, work, pending, keys, results, context)
+    else:
+        _run_pool(task, work, pending, keys, results, context, workers)
+    return results
+
+
+def _point_fault(
+    context: SupervisorContext, keys: list[str] | None, index: int, attempt: int
+) -> str | None:
+    """Planned harness fault for one attempt (first attempt only)."""
+    if context.fault_spec is None or attempt > 0:
+        return None
+    fault = context.fault_spec.harness_fault(keys[index])
+    if fault is not None:
+        context.count(f"worker-{fault}-injected")
+    return fault
+
+
+def _finish(
+    context: SupervisorContext,
+    keys: list[str] | None,
+    results: list,
+    index: int,
+    value: Any,
+) -> None:
+    results[index] = value
+    context.completed += 1
+    if context.journal is not None:
+        context.journal.record(keys[index], value)
+
+
+def _fail(
+    context: SupervisorContext,
+    policy: SupervisorPolicy,
+    keys: list[str] | None,
+    results: list,
+    index: int,
+    item: Any,
+    cause: BaseException,
+    attempts: int,
+) -> None:
+    """A point exhausted its retries: degrade or raise."""
+    if policy.degrades:
+        context.count("point-degraded")
+        _finish(context, keys, results, index, policy.failure_value)
+        return
+    raise SweepPointError(item, cause, attempts=attempts) from cause
+
+
+def _backoff(policy: SupervisorPolicy, attempt: int) -> float:
+    return min(policy.backoff_cap, policy.backoff_base * (2 ** max(0, attempt - 1)))
+
+
+def _run_serial(
+    task: Callable,
+    work: list,
+    pending: list[int],
+    keys: list[str] | None,
+    results: list,
+    context: SupervisorContext,
+) -> None:
+    """In-process path (``jobs`` ≤ 1): retries apply, timeouts cannot.
+
+    An injected crash becomes :class:`FaultInjectionError` here — with
+    no worker process to sacrifice, the fault degenerates to an
+    exception, which exercises the same retry path.
+    """
+    policy = context.policy
+    for i in pending:
+        attempt = 0
+        while True:
+            fault = _point_fault(context, keys, i, attempt)
+            try:
+                if fault == "crash":
+                    raise FaultInjectionError("injected worker crash (serial mode)")
+                if fault == "hang":
+                    time.sleep(context.fault_spec.hang_seconds)
+                _finish(context, keys, results, i, task(work[i]))
+                break
+            except KeyboardInterrupt:
+                _drain_report(context, results)
+                raise SweepInterrupted(context.completed, context.total) from None
+            except Exception as error:
+                attempt += 1
+                if attempt > policy.retries:
+                    _fail(context, policy, keys, results, i, work[i], error, attempt)
+                    break
+                context.count("point-retry")
+                time.sleep(_backoff(policy, attempt))
+
+
+def _run_pool(
+    task: Callable,
+    work: list,
+    pending: list[int],
+    keys: list[str] | None,
+    results: list,
+    context: SupervisorContext,
+    workers: int,
+) -> None:
+    """The supervised process-pool loop."""
+    policy = context.policy
+    attempts = {i: 0 for i in pending}
+    # (index, not-before) — backoff is enforced by the ready time.
+    queue: deque[tuple[int, float]] = deque((i, 0.0) for i in pending)
+    inflight: dict[Future, _Flight] = {}
+    executor = ProcessPoolExecutor(max_workers=workers)
+
+    def respawn() -> None:
+        nonlocal executor
+        _terminate(executor)
+        executor = ProcessPoolExecutor(max_workers=workers)
+        context.count("pool-respawn")
+
+    def submit_ready(now: float) -> None:
+        while queue and len(inflight) < workers:
+            index, ready_at = queue[0]
+            if ready_at > now:
+                break
+            queue.popleft()
+            fault = _point_fault(context, keys, index, attempts[index])
+            hang_seconds = (
+                context.fault_spec.hang_seconds if context.fault_spec else 0.0
+            )
+            future = executor.submit(_run_point, task, work[index], fault, hang_seconds)
+            deadline = now + policy.timeout if policy.timeout else None
+            inflight[future] = _Flight(index=index, deadline=deadline)
+
+    def requeue(index: int, *, delay: float = 0.0) -> None:
+        queue.append((index, time.monotonic() + delay))
+
+    def on_failure(index: int, cause: BaseException, kind: str) -> None:
+        """Count a failed attempt; requeue with backoff or finish the point."""
+        attempts[index] += 1
+        if attempts[index] > policy.retries:
+            _fail(
+                context,
+                policy,
+                keys,
+                results,
+                index,
+                work[index],
+                cause,
+                attempts[index],
+            )
+            return
+        context.count(kind)
+        requeue(index, delay=_backoff(policy, attempts[index]))
+
+    try:
+        while queue or inflight:
+            now = time.monotonic()
+            submit_ready(now)
+            if not inflight:
+                # Nothing running: we are waiting out a backoff window.
+                time.sleep(max(0.0, min(at for _, at in queue) - now))
+                continue
+            wait_for = _next_wakeup(policy, queue, inflight, now)
+            done, _ = wait(inflight, timeout=wait_for, return_when=FIRST_COMPLETED)
+            broken = False
+            for future in done:
+                flight = inflight.pop(future)
+                try:
+                    value = future.result(timeout=0)
+                except BrokenProcessPool:
+                    broken = True
+                    on_failure(
+                        flight.index,
+                        FaultInjectionError("worker process died mid-point"),
+                        "worker-crash",
+                    )
+                except Exception as error:
+                    on_failure(flight.index, error, "point-retry")
+                else:
+                    _finish(context, keys, results, flight.index, value)
+            if broken:
+                # The pool is unusable; survivors were not at fault —
+                # re-run them without charging an attempt.
+                for future, flight in inflight.items():
+                    requeue(flight.index)
+                inflight.clear()
+                respawn()
+                continue
+            _reap_hung(
+                context, policy, inflight, requeue, on_failure, respawn
+            )
+    except SweepPointError:
+        _terminate(executor)
+        raise
+    except KeyboardInterrupt:
+        _terminate(executor)
+        _drain_report(context, results)
+        raise SweepInterrupted(context.completed, context.total) from None
+    else:
+        # All points done; the workers are idle, so a waiting shutdown
+        # is cheap and avoids racing the interpreter's atexit hook for
+        # the executor's wakeup pipe.
+        executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _next_wakeup(
+    policy: SupervisorPolicy,
+    queue: deque,
+    inflight: dict,
+    now: float,
+) -> float | None:
+    """How long the wait may block: next deadline or next backoff expiry."""
+    horizons = [
+        flight.deadline - now
+        for flight in inflight.values()
+        if flight.deadline is not None
+    ]
+    if queue:
+        horizons.append(queue[0][1] - now)
+    if not horizons:
+        return None
+    return max(0.05, min(horizons))
+
+
+def _reap_hung(context, policy, inflight, requeue, on_failure, respawn) -> None:
+    """Kill the pool if any point overran its deadline; re-queue victims."""
+    now = time.monotonic()
+    expired = [
+        (future, flight)
+        for future, flight in inflight.items()
+        if flight.deadline is not None and now > flight.deadline and not future.done()
+    ]
+    if not expired:
+        return
+    hung = {future for future, _ in expired}
+    survivors = [flight.index for future, flight in inflight.items() if future not in hung]
+    inflight.clear()
+    respawn()
+    for _, flight in expired:
+        on_failure(
+            flight.index,
+            FaultInjectionError(
+                f"point exceeded its {policy.timeout:.1f}s wall-clock budget"
+            ),
+            "point-timeout",
+        )
+    for index in survivors:
+        requeue(index)
+
+
+def _drain_report(context: SupervisorContext, results: list) -> None:
+    """The SIGINT partial-results report, written to stderr."""
+    done = sum(1 for value in results if value is not _UNSET)
+    print(
+        f"\nsweep interrupted: {done}/{len(results)} points of the current "
+        f"grid completed ({context.completed}/{context.total} overall)",
+        file=sys.stderr,
+    )
+    if context.counts:
+        print(f"  events: {context.describe()}", file=sys.stderr)
+    if context.journal is not None:
+        print(
+            f"  journal: {context.journal.path} — re-run with --resume to "
+            "skip completed points",
+            file=sys.stderr,
+        )

@@ -73,6 +73,17 @@ class MessageCodec:
         """Whether a bus address falls in the reserved message window."""
         return (address & MESSAGE_BASE) == MESSAGE_BASE
 
+    @staticmethod
+    def peek_opcode(address: int) -> int:
+        """The raw opcode field of a message address, without decoding.
+
+        Cheap classification for components that must route messages
+        (the fault injector, bus taps) without owning decoder state —
+        the returned value may be outside :class:`MessageKind` for a
+        corrupted transaction.
+        """
+        return (address >> _OPCODE_SHIFT) & _OPCODE_MASK
+
     # -- encoding -----------------------------------------------------------
 
     @staticmethod

@@ -18,8 +18,11 @@ named numpy arrays:
   means invalidation is automatic: change any field and you address a
   different entry;
 * each entry is a directory ``root/ab/cdef.../`` holding one ``.npy``
-  file per array plus ``manifest.json`` recording dtype, shape, and
-  byte size for integrity checking;
+  file per array plus ``manifest.json`` recording dtype, shape, byte
+  size, and a CRC-32 of every array file for integrity checking — the
+  checksum catches in-place bit corruption that leaves sizes and
+  headers intact, which is exactly what a flaky disk or an injected
+  fault produces;
 * writers build the entry in a private temp directory and publish it
   with one atomic :func:`os.rename`, so concurrent ``--jobs`` workers
   (or concurrent CI shards sharing a cache volume) can race on the same
@@ -27,8 +30,11 @@ named numpy arrays:
   discard their copy;
 * readers validate the manifest against the files and treat *any*
   damage (truncated manifest, missing or short array file, dtype or
-  shape drift) as a miss, so a corrupted cache regenerates instead of
-  crashing.
+  shape drift, checksum mismatch) as a miss, so a corrupted cache
+  regenerates instead of crashing; the damaged entry is *quarantined*
+  to a sibling ``....corrupt`` directory rather than deleted, so the
+  evidence survives for diagnosis while the key becomes free for a
+  clean republish.
 
 Loads memory-map the arrays by default, so fanning one captured log out
 to N worker processes shares pages instead of duplicating the log.
@@ -41,6 +47,7 @@ import json
 import os
 import shutil
 import uuid
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping
@@ -53,8 +60,13 @@ from repro.errors import ConfigurationError
 MANIFEST_NAME = "manifest.json"
 
 #: Manifest schema version; bump on incompatible layout changes (old
-#: entries then simply miss and regenerate).
-FORMAT_VERSION = 1
+#: entries then simply miss and regenerate).  v2 added per-array CRC-32
+#: checksums.
+FORMAT_VERSION = 2
+
+#: Suffix appended to a damaged entry's directory when it is moved
+#: aside instead of deleted.
+QUARANTINE_SUFFIX = ".corrupt"
 
 #: Environment variable consulted when no explicit directory is given.
 TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
@@ -72,12 +84,23 @@ class TraceCacheStats:
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    quarantined: int = 0
 
     def describe(self) -> str:
         return (
             f"hits={self.hits} misses={self.misses} "
-            f"stores={self.stores} corrupt={self.corrupt}"
+            f"stores={self.stores} corrupt={self.corrupt} "
+            f"quarantined={self.quarantined}"
         )
+
+
+def _file_crc32(path: Path) -> int:
+    """Streaming CRC-32 of one file (small constant memory)."""
+    crc = 0
+    with open(path, "rb") as handle:
+        while chunk := handle.read(1 << 20):
+            crc = zlib.crc32(chunk, crc)
+    return crc
 
 
 def cache_key(fields: Mapping[str, object]) -> str:
@@ -118,9 +141,12 @@ class TraceCache:
         """Return ``(meta, arrays)`` for ``key``, or None on miss.
 
         Any integrity failure — unreadable or truncated manifest, wrong
-        schema, missing array file, byte-size/dtype/shape mismatch — is
-        reported as a miss (and counted in ``stats.corrupt``) so callers
-        regenerate rather than crash on a damaged cache.
+        schema, missing array file, byte-size/dtype/shape mismatch, or a
+        CRC-32 checksum miscompare — is reported as a miss (and counted
+        in ``stats.corrupt``) so callers regenerate rather than crash on
+        a damaged cache.  The damaged entry is quarantined to
+        ``<entry>.corrupt`` (counted in ``stats.quarantined``), keeping
+        the evidence while freeing the key for a clean republish.
         """
         entry = self.entry_dir(key)
         manifest_path = entry / MANIFEST_NAME
@@ -141,6 +167,8 @@ class TraceCache:
                 path = entry / spec["file"]
                 if path.stat().st_size != spec["file_bytes"]:
                     raise ValueError(f"array file {name!r} size mismatch")
+                if _file_crc32(path) != spec["crc32"]:
+                    raise ValueError(f"array file {name!r} checksum mismatch")
                 array = np.load(path, mmap_mode="r" if mmap else None)
                 if str(array.dtype) != spec["dtype"] or list(array.shape) != list(
                     spec["shape"]
@@ -149,15 +177,30 @@ class TraceCache:
                 arrays[name] = array
             meta = manifest["meta"]
         except (OSError, ValueError, KeyError, TypeError) as error:
-            # A present-but-damaged entry: count it separately, drop it
-            # so the next store can republish cleanly, and miss.
+            # A present-but-damaged entry: count it, move it aside so
+            # the next store can republish cleanly, and miss.
             self.stats.corrupt += 1
             self.stats.misses += 1
-            shutil.rmtree(entry, ignore_errors=True)
+            self._quarantine(entry)
             del error
             return None
         self.stats.hits += 1
         return meta, arrays
+
+    def _quarantine(self, entry: Path) -> None:
+        """Move a damaged entry to ``<entry>.corrupt`` (best effort).
+
+        A previous quarantine for the same key is replaced — one
+        specimen of the damage is enough.  If the move itself fails the
+        wreck is deleted instead, so the key always ends up free.
+        """
+        target = entry.with_name(entry.name + QUARANTINE_SUFFIX)
+        try:
+            shutil.rmtree(target, ignore_errors=True)
+            os.rename(entry, target)
+            self.stats.quarantined += 1
+        except OSError:
+            shutil.rmtree(entry, ignore_errors=True)
 
     # -- writing ------------------------------------------------------
 
@@ -187,6 +230,7 @@ class TraceCache:
                     "dtype": str(array.dtype),
                     "shape": list(array.shape),
                     "file_bytes": (tmp / file_name).stat().st_size,
+                    "crc32": _file_crc32(tmp / file_name),
                 }
             manifest = {
                 "format": FORMAT_VERSION,

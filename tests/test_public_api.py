@@ -84,6 +84,13 @@ PUBLIC_MODULES = [
     "repro.harness.export",
     "repro.harness.linesize_traffic",
     "repro.harness.sharing_study",
+    "repro.harness.parallel",
+    "repro.harness.replay",
+    "repro.harness.supervisor",
+    "repro.trace.cache",
+    "repro.faults.spec",
+    "repro.faults.report",
+    "repro.faults.injector",
 ]
 
 ENTRY_POINTS = [

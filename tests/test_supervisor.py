@@ -1,0 +1,223 @@
+"""Tests for the fault-tolerant sweep supervisor.
+
+The contract under test: fault-free supervised runs return exactly what
+``parallel_map`` returns; under faults — worker crashes, hangs, flaky
+exceptions, SIGINT — the supervisor retries with backoff, respawns the
+pool, journals completed points for ``--resume``, and either degrades
+gracefully or fails loudly with the offending grid point attached.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import SweepInterrupted, SweepPointError
+from repro.faults.spec import FaultSpec
+from repro.harness.parallel import parallel_map
+from repro.harness.supervisor import (
+    SupervisorContext,
+    SupervisorPolicy,
+    SweepJournal,
+    supervise,
+    supervised_map,
+)
+
+
+# -- module-level tasks (they cross process boundaries) -----------------
+
+
+def square(item):
+    return item * item
+
+
+def flaky_crash(item):
+    """Dies hard (kills its worker) until a marker file exists."""
+    value, marker_dir = item
+    marker = os.path.join(marker_dir, f"crash-{value}")
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(9)
+    return value * 10
+
+
+def flaky_raise(item):
+    """Raises until a marker file exists."""
+    value, marker_dir = item
+    marker = os.path.join(marker_dir, f"raise-{value}")
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        raise ValueError(f"transient failure at {value}")
+    return value + 1
+
+
+def hang_once(item):
+    """Stalls one specific point on its first attempt only."""
+    value, marker_dir = item
+    marker = os.path.join(marker_dir, f"hang-{value}")
+    if value == 2 and not os.path.exists(marker):
+        open(marker, "w").close()
+        time.sleep(60)
+    return value + 100
+
+
+def always_fails(item):
+    raise RuntimeError(f"point {item} is broken")
+
+
+def interrupts(item):
+    if item == 1:
+        raise KeyboardInterrupt
+    return item
+
+
+class TestFaultFreeParity:
+    def test_matches_parallel_map_serial_and_pooled(self):
+        items = list(range(8))
+        expected = parallel_map(square, items)
+        assert supervised_map(square, items, jobs=None) == expected
+        assert supervised_map(square, items, jobs=3) == expected
+
+    def test_parallel_map_delegates_under_supervise(self):
+        with supervise() as context:
+            assert parallel_map(square, [1, 2, 3], jobs=2) == [1, 4, 9]
+        assert context.completed == 3
+
+    def test_empty_items(self):
+        assert supervised_map(square, [], jobs=4) == []
+
+
+class TestRetries:
+    def test_transient_exception_is_retried(self, tmp_path):
+        context = SupervisorContext(
+            policy=SupervisorPolicy(retries=2, backoff_base=0.01)
+        )
+        items = [(i, str(tmp_path)) for i in range(4)]
+        assert supervised_map(flaky_raise, items, jobs=2, context=context) == [
+            1,
+            2,
+            3,
+            4,
+        ]
+        assert context.counts["point-retry"] == 4
+
+    def test_exhausted_point_raises_sweep_point_error(self):
+        context = SupervisorContext(
+            policy=SupervisorPolicy(retries=1, backoff_base=0.01)
+        )
+        with pytest.raises(SweepPointError) as info:
+            supervised_map(always_fails, [7], jobs=2, context=context)
+        assert info.value.point == 7
+        assert info.value.attempts == 2
+        assert isinstance(info.value.cause, RuntimeError)
+
+    def test_exhausted_point_degrades_when_policy_allows(self):
+        context = SupervisorContext(
+            policy=SupervisorPolicy(
+                retries=0, backoff_base=0.01, failure_value=None
+            )
+        )
+        out = supervised_map(always_fails, [1, 2], jobs=2, context=context)
+        assert out == [None, None]
+        assert context.counts["point-degraded"] == 2
+
+
+class TestCrashRecovery:
+    def test_broken_pool_respawns_and_completes(self, tmp_path):
+        context = SupervisorContext(
+            policy=SupervisorPolicy(retries=2, backoff_base=0.01)
+        )
+        items = [(i, str(tmp_path)) for i in (1, 2, 3)]
+        out = supervised_map(flaky_crash, items, jobs=2, context=context)
+        assert out == [10, 20, 30]
+        assert context.counts["pool-respawn"] >= 1
+        assert context.counts["worker-crash"] >= 1
+
+    def test_injected_crash_first_attempt_only(self):
+        spec = FaultSpec(seed=5, crash=1.0)
+        context = SupervisorContext(
+            policy=SupervisorPolicy(retries=1, backoff_base=0.01), fault_spec=spec
+        )
+        assert supervised_map(square, [2, 3], jobs=2, context=context) == [4, 9]
+        assert context.counts["worker-crash-injected"] == 2
+
+    def test_injected_crash_serial_degenerates_to_retry(self):
+        spec = FaultSpec(seed=5, crash=1.0)
+        context = SupervisorContext(
+            policy=SupervisorPolicy(retries=1, backoff_base=0.01), fault_spec=spec
+        )
+        assert supervised_map(square, [2, 3], jobs=None, context=context) == [4, 9]
+
+
+class TestTimeouts:
+    def test_hung_point_is_killed_and_retried(self, tmp_path):
+        context = SupervisorContext(
+            policy=SupervisorPolicy(timeout=1.0, retries=2, backoff_base=0.01)
+        )
+        items = [(i, str(tmp_path)) for i in (1, 2, 3)]
+        start = time.monotonic()
+        out = supervised_map(hang_once, items, jobs=2, context=context)
+        elapsed = time.monotonic() - start
+        assert out == [101, 102, 103]
+        assert context.counts["point-timeout"] == 1
+        assert elapsed < 30  # nowhere near the 60 s sleep
+
+
+class TestJournalResume:
+    def test_completed_points_are_skipped_on_resume(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            context = SupervisorContext(journal=journal)
+            first = supervised_map(square, [1, 2, 3], jobs=None, context=context)
+        with SweepJournal(path, resume=True) as journal:
+            context = SupervisorContext(journal=journal)
+            second = supervised_map(square, [1, 2, 3], jobs=None, context=context)
+        assert first == second
+        assert context.counts["journal-skip"] == 3
+
+    def test_partial_journal_reruns_only_missing_points(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            context = SupervisorContext(journal=journal)
+            supervised_map(square, [1, 2], jobs=None, context=context)
+        with SweepJournal(path, resume=True) as journal:
+            context = SupervisorContext(journal=journal)
+            out = supervised_map(square, [1, 2, 3, 4], jobs=None, context=context)
+        assert out == [1, 4, 9, 16]
+        assert context.counts["journal-skip"] == 2
+
+    def test_torn_tail_line_is_ignored(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            context = SupervisorContext(journal=journal)
+            supervised_map(square, [1, 2, 3], jobs=None, context=context)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "deadbeef", "result": "truncat')  # no newline
+        with SweepJournal(path, resume=True) as journal:
+            context = SupervisorContext(journal=journal)
+            out = supervised_map(square, [1, 2, 3], jobs=None, context=context)
+        assert out == [1, 4, 9]
+        assert context.counts["journal-skip"] == 3
+
+    def test_point_key_depends_on_task_and_item(self):
+        assert SweepJournal.point_key(square, 1) == SweepJournal.point_key(square, 1)
+        assert SweepJournal.point_key(square, 1) != SweepJournal.point_key(square, 2)
+        assert SweepJournal.point_key(square, 1) != SweepJournal.point_key(
+            always_fails, 1
+        )
+
+
+class TestInterrupt:
+    def test_sigint_drains_to_sweep_interrupted(self, capsys):
+        context = SupervisorContext(policy=SupervisorPolicy(backoff_base=0.01))
+        with pytest.raises(SweepInterrupted):
+            supervised_map(interrupts, [0, 1, 2], jobs=None, context=context)
+        assert "sweep interrupted" in capsys.readouterr().err
+
+    def test_sigint_in_worker_drains_pool(self, capsys):
+        context = SupervisorContext(policy=SupervisorPolicy(backoff_base=0.01))
+        with pytest.raises(SweepInterrupted):
+            supervised_map(interrupts, [0, 1, 2], jobs=2, context=context)
+        assert "sweep interrupted" in capsys.readouterr().err
