@@ -1,0 +1,75 @@
+"""Runtime invariant auditing for co-simulation results.
+
+The physical platform leaned on built-in consistency defenses: the CB
+board re-reads every CC bank's counters each 500 µs host interval, and
+the FSB instructions-retired/cycles-completed messages exist purely to
+keep SoftSDV's simulated time domain reconciled with Dragonhead's
+emulated one (paper §3.1, §3.3).  This package is the software analog —
+an end-of-run audit that proves a completed :class:`~repro.core.cosim.
+CoSimResult` is *internally consistent* before it flows into a table or
+figure:
+
+* conservation identities on every counter block (per CC bank, per
+  core, and the CB aggregate),
+* cross-domain reconciliation (scheduler-side raw retired/cycle counts
+  versus the AF's message-decoded counters; window samples integrating
+  to the final counters),
+* directory/occupancy consistency (resident lines == misses − evictions,
+  bounded by capacity, tags mapping back to their sets), and
+* a sampled differential oracle: a deterministic 1-in-K slice of
+  (bank, set) pairs replayed through the generic
+  :class:`~repro.cache.replacement.LRUPolicy` and compared, tag for tag
+  and in recency order, against the vectorized fastlru kernel.
+
+Violations raise :class:`~repro.errors.AuditError` in strict mode and
+become degradation records (source ``audit``) in lenient mode.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.audit.invariants import run_audit
+from repro.audit.oracle import OracleTap
+from repro.audit.report import AuditCheck, AuditReport
+
+#: Audit modes, in increasing oracle coverage.
+AUDIT_OFF = "off"
+AUDIT_SAMPLE = "sample"
+AUDIT_FULL = "full"
+AUDIT_MODES = (AUDIT_OFF, AUDIT_SAMPLE, AUDIT_FULL)
+
+#: Environment variable carrying the ambient audit mode into exhibit
+#: code and sweep worker processes (the CLIs export it for ``--audit``).
+AUDIT_ENV = "REPRO_AUDIT"
+
+
+def resolve_audit_mode(explicit: str | None = None) -> str:
+    """The effective audit mode: explicit argument, else ``$REPRO_AUDIT``.
+
+    Unknown values raise ``ValueError`` — a typo'd mode silently meaning
+    "off" would defeat the entire point of auditing.
+    """
+    mode = explicit if explicit is not None else os.environ.get(AUDIT_ENV)
+    if mode is None or mode == "":
+        return AUDIT_OFF
+    mode = mode.lower()
+    if mode not in AUDIT_MODES:
+        raise ValueError(
+            f"unknown audit mode {mode!r}; choose from {', '.join(AUDIT_MODES)}"
+        )
+    return mode
+
+
+__all__ = [
+    "AUDIT_ENV",
+    "AUDIT_FULL",
+    "AUDIT_MODES",
+    "AUDIT_OFF",
+    "AUDIT_SAMPLE",
+    "AuditCheck",
+    "AuditReport",
+    "OracleTap",
+    "resolve_audit_mode",
+    "run_audit",
+]

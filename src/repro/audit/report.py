@@ -1,0 +1,82 @@
+"""The audit report: one named verdict per invariant checked.
+
+Reports are frozen, tuple-backed, and built deterministically from the
+run's final state, so a replayed point produces a report *equal* to the
+fresh run's — the same contract every other field of
+:class:`~repro.core.cosim.CoSimResult` already honors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.report import AUDIT, DegradationRecord
+
+#: Detail strings are clamped so a pathological report (thousands of
+#: violated sets) stays printable and journal-serializable.
+_DETAIL_LIMIT = 500
+
+
+@dataclass(frozen=True, slots=True)
+class AuditCheck:
+    """The verdict of one invariant.
+
+    Attributes:
+        name: catalogue key (e.g. ``"bank-conservation"``; the full
+            catalogue with each check's hardware analogue is in
+            ``docs/architecture.md``).
+        ok: whether the invariant held.
+        detail: on failure, what was observed versus expected.
+    """
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class AuditReport:
+    """Every invariant verdict from one run's end-of-run audit."""
+
+    mode: str
+    checks: tuple[AuditCheck, ...]
+
+    @property
+    def violations(self) -> tuple[AuditCheck, ...]:
+        return tuple(check for check in self.checks if not check.ok)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def degradation_records(self) -> tuple[DegradationRecord, ...]:
+        """Lenient-mode form: one ``audit``-source record per violation."""
+        return tuple(
+            DegradationRecord(
+                kind=f"audit-{check.name}",
+                source=AUDIT,
+                count=1,
+                detail=check.detail,
+            )
+            for check in self.violations
+        )
+
+    def describe(self) -> str:
+        """One-line summary for CLI readouts."""
+        if self.ok:
+            return f"audit {self.mode}: {len(self.checks)} checks passed"
+        names = ", ".join(check.name for check in self.violations)
+        return (
+            f"audit {self.mode}: {len(self.violations)}/{len(self.checks)} "
+            f"checks FAILED ({names})"
+        )
+
+
+def make_check(name: str, problems: list[str]) -> AuditCheck:
+    """Fold a (possibly empty) problem list into one check verdict."""
+    if not problems:
+        return AuditCheck(name=name, ok=True)
+    detail = "; ".join(problems)
+    if len(detail) > _DETAIL_LIMIT:
+        detail = detail[: _DETAIL_LIMIT - 3] + "..."
+    return AuditCheck(name=name, ok=False, detail=detail)

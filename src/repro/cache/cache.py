@@ -179,12 +179,82 @@ class SetAssociativeCache:
             self.access_chunk(chunk)
         return self.stats
 
+    # -- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        """Directory contents + counters for a checkpoint.
+
+        LRU caches dump the kernel's dense numpy representation (two
+        contiguous arrays); other policies are small enough to travel as
+        the pickled policy object itself.
+        """
+        policy = self._policy
+        if isinstance(policy, FastLRUKernel):
+            policy_state: dict[str, object] = {
+                "kind": "fastlru",
+                **policy.dump_state(),
+            }
+        else:
+            policy_state = {"kind": "pickled", "policy": policy}
+        return {"stats": self.stats.snapshot(), "policy": policy_state}
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        """Restore directory + counters captured by :meth:`state_dict`."""
+        from repro.errors import CheckpointError
+
+        self.stats = state["stats"].snapshot()  # type: ignore[union-attr]
+        policy_state = state["policy"]
+        kind = policy_state["kind"]  # type: ignore[index]
+        if kind == "fastlru":
+            if not isinstance(self._policy, FastLRUKernel):
+                raise CheckpointError(
+                    f"checkpoint holds LRU directory state but this cache "
+                    f"runs policy {self.config.policy!r}"
+                )
+            self._policy.load_state(policy_state)  # type: ignore[arg-type]
+        else:
+            restored = policy_state["policy"]  # type: ignore[index]
+            if (
+                restored.num_sets != self.config.num_sets
+                or restored.associativity != self.config.associativity
+            ):
+                raise CheckpointError(
+                    "checkpoint policy geometry "
+                    f"({restored.num_sets}x{restored.associativity}) does not "
+                    f"match this cache "
+                    f"({self.config.num_sets}x{self.config.associativity})"
+                )
+            self._policy = restored
+
     # -- maintenance ------------------------------------------------------
 
     def contains(self, address: int) -> bool:
         """Whether the line holding ``address`` is resident (no side effects)."""
         line = address >> self._line_shift
         return self._policy.contains(line & self._set_mask, line)
+
+    def resident_tags(self, set_index: int) -> list[int]:
+        """Resident tags of one set, LRU→MRU (audit oracle, coherence).
+
+        Only meaningful for recency-ordered policies (LRU); others raise
+        ``AttributeError`` — callers that audit must use an LRU cache.
+        """
+        return self._policy.resident_tags(set_index)
+
+    def resident_count(self) -> int | None:
+        """Total resident lines (occupancy audit); O(num_sets).
+
+        None for policies that don't expose their directory (FIFO,
+        Random, tree-PLRU) — occupancy is then unobservable, not zero.
+        """
+        policy = self._policy
+        if isinstance(policy, FastLRUKernel):
+            return policy.resident_count()
+        if not hasattr(policy, "resident_tags"):
+            return None
+        return sum(
+            len(policy.resident_tags(s)) for s in range(self.config.num_sets)
+        )
 
     def contains_line(self, line: int) -> bool:
         return self._policy.contains(line & self._set_mask, line)

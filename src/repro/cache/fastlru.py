@@ -266,6 +266,67 @@ class FastLRUKernel(ReplacementPolicy):
             hit_arr = full_hits
         return BatchResult(hits=hit_arr, evictions=evictions)
 
+    # -- checkpointing --------------------------------------------------
+
+    def resident_count(self) -> int:
+        """Total lines currently resident across all sets."""
+        return sum(len(ways) for ways in self._sets if ways)
+
+    def dump_state(self) -> dict[str, np.ndarray]:
+        """Dense numpy dump of the full directory state.
+
+        Two arrays: ``lengths[num_sets]`` (``int64``, resident lines per
+        set; never-touched sets recorded as ``-1`` so lazy allocation
+        survives a round trip) and ``tags`` (``uint64``, every resident
+        tag concatenated set by set, LRU→MRU within each set).  This is
+        the checkpoint representation: two contiguous buffers instead of
+        millions of pickled dict entries, and byte-stable for a given
+        logical state.
+        """
+        lengths = np.empty(self.num_sets, dtype=np.int64)
+        chunks: list[list[int]] = []
+        for set_index, ways in enumerate(self._sets):
+            if ways is None:
+                lengths[set_index] = -1
+            else:
+                lengths[set_index] = len(ways)
+                if ways:
+                    chunks.append(list(ways))
+        if chunks:
+            tags = np.fromiter(
+                (tag for chunk in chunks for tag in chunk),
+                dtype=np.uint64,
+                count=sum(len(chunk) for chunk in chunks),
+            )
+        else:
+            tags = np.empty(0, dtype=np.uint64)
+        return {"lengths": lengths, "tags": tags}
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        """Restore the directory from a :meth:`dump_state` dump."""
+        lengths = np.asarray(state["lengths"], dtype=np.int64)
+        tags = np.asarray(state["tags"], dtype=np.uint64)
+        if lengths.size != self.num_sets:
+            from repro.errors import CheckpointError
+
+            raise CheckpointError(
+                f"checkpoint directory has {lengths.size} sets, "
+                f"this kernel has {self.num_sets}"
+            )
+        sets: list[dict[int, None] | None] = [None] * self.num_sets
+        factory = self._set_factory
+        tag_list = tags.tolist()
+        offset = 0
+        for set_index, length in enumerate(lengths.tolist()):
+            if length < 0:
+                continue
+            ways = factory()
+            for tag in tag_list[offset : offset + length]:
+                ways[tag] = None
+            offset += length
+            sets[set_index] = ways
+        self._sets = sets
+
     # -- timestamp-matrix view -----------------------------------------
 
     def tag_matrix(self) -> np.ndarray:

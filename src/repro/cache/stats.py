@@ -135,6 +135,58 @@ class CacheStats:
                     miss_counts[core]
                 )
 
+    def conservation_violations(self, label: str = "") -> list[str]:
+        """Conservation identities this counter block must satisfy.
+
+        Returns a human-readable description per violated identity
+        (empty list == consistent).  The identities assume a demand-only
+        access stream — the emulator banks never prefetch, so every
+        access is a read or a write, every access hits or misses, and an
+        eviction can only be caused by a miss fill.  A prefetching
+        wrapper installs lines outside :meth:`note_access` and must not
+        be audited with these identities.
+        """
+        prefix = f"{label}: " if label else ""
+        violations: list[str] = []
+        if self.hits + self.misses != self.accesses:
+            violations.append(
+                f"{prefix}hits+misses != accesses "
+                f"({self.hits}+{self.misses} != {self.accesses})"
+            )
+        if self.reads + self.writes != self.accesses:
+            violations.append(
+                f"{prefix}reads+writes != accesses "
+                f"({self.reads}+{self.writes} != {self.accesses})"
+            )
+        if self.read_misses + self.write_misses != self.misses:
+            violations.append(
+                f"{prefix}read_misses+write_misses != misses "
+                f"({self.read_misses}+{self.write_misses} != {self.misses})"
+            )
+        if self.evictions > self.misses:
+            violations.append(
+                f"{prefix}evictions > misses ({self.evictions} > {self.misses})"
+            )
+        core_accesses = sum(self.per_core_accesses.values())
+        if core_accesses != self.accesses:
+            violations.append(
+                f"{prefix}per-core access sum != accesses "
+                f"({core_accesses} != {self.accesses})"
+            )
+        core_misses = sum(self.per_core_misses.values())
+        if core_misses != self.misses:
+            violations.append(
+                f"{prefix}per-core miss sum != misses "
+                f"({core_misses} != {self.misses})"
+            )
+        for core, misses in self.per_core_misses.items():
+            if misses > self.per_core_accesses.get(core, 0):
+                violations.append(
+                    f"{prefix}core {core} misses > accesses "
+                    f"({misses} > {self.per_core_accesses.get(core, 0)})"
+                )
+        return violations
+
     def merge(self, other: "CacheStats") -> "CacheStats":
         """Return the sum of two counter sets (bank aggregation)."""
         merged = CacheStats(

@@ -1,0 +1,33 @@
+"""Checkpoint/resume for long co-simulation points.
+
+PR 3 made sweeps survive crashed *points*; this package makes a single
+point survive its own death.  A snapshot captures everything the
+deterministic replay of a run depends on — DEX scheduler position and
+per-core counters, the AF's protocol session state (including the
+codec's stashed wide-payload words), the CC banks' full directory
+contents as dense numpy dumps, the CB sampler's window accumulators,
+and the audit oracle's shadow directories — so a resumed run continues
+*bit-identically* to one that was never interrupted (a differential
+test enforces field-for-field `CoSimResult` equality).
+
+Snapshots are versioned and CRC-32 guarded, written atomically
+(tmp + rename), and carry an identity block so a checkpoint can never
+be resumed against a different workload, core count, or cache
+configuration.
+"""
+
+from __future__ import annotations
+
+from repro.checkpoint.snapshot import (
+    SNAPSHOT_VERSION,
+    DeferredInterrupt,
+    read_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "DeferredInterrupt",
+    "read_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,163 @@
+"""The snapshot container format and the SIGINT-drain helper.
+
+Layout of a ``.ckpt`` file::
+
+    MAGIC (4 bytes, b"RPCK")
+    header length (4 bytes, big-endian)
+    header (JSON): {"version", "crc32", "length"}
+    payload (pickle): {"identity": {...}, "state": {...}}
+
+The header is JSON so a future version bump can be detected — and
+reported — without being able to unpickle the payload; the CRC-32 is
+over the payload bytes, so torn or bit-flipped files fail *before*
+anything is unpickled.  Writes go to a ``.tmp`` sibling and
+``os.replace`` into place, so a reader never observes a half-written
+snapshot and a crash mid-write leaves the previous snapshot intact —
+the same discipline the PR-2 trace cache uses for its entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import signal
+import threading
+import zlib
+
+from repro.errors import CheckpointError
+
+MAGIC = b"RPCK"
+SNAPSHOT_VERSION = 1
+
+_HEADER_LEN_BYTES = 4
+
+
+def write_snapshot(path: str, state: dict, identity: dict) -> None:
+    """Atomically write one snapshot file.
+
+    Args:
+        path: destination; the parent directory must exist.
+        state: the full platform state (pickled into the payload).
+        identity: what run this snapshot belongs to (workload name,
+            cores, config, mode...); verified on resume.
+    """
+    payload = pickle.dumps(
+        {"identity": identity, "state": state}, protocol=pickle.HIGHEST_PROTOCOL
+    )
+    header = json.dumps(
+        {
+            "version": SNAPSHOT_VERSION,
+            "crc32": zlib.crc32(payload),
+            "length": len(payload),
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(len(header).to_bytes(_HEADER_LEN_BYTES, "big"))
+            handle.write(header)
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        # A checkpoint interrupted mid-write (including KeyboardInterrupt)
+        # must not leave a tmp file to be mistaken for progress.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_snapshot(path: str, expect_identity: dict | None = None) -> dict:
+    """Read, validate, and return the ``state`` dict of a snapshot.
+
+    Raises :class:`CheckpointError` on any damage (bad magic, unknown
+    version, truncation, CRC mismatch) or when ``expect_identity``
+    differs from the identity recorded at write time.
+    """
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as error:
+        raise CheckpointError(f"cannot read checkpoint {path}: {error}") from error
+    if len(blob) < len(MAGIC) + _HEADER_LEN_BYTES or not blob.startswith(MAGIC):
+        raise CheckpointError(f"{path} is not a checkpoint file (bad magic)")
+    offset = len(MAGIC)
+    header_len = int.from_bytes(blob[offset : offset + _HEADER_LEN_BYTES], "big")
+    offset += _HEADER_LEN_BYTES
+    try:
+        header = json.loads(blob[offset : offset + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise CheckpointError(f"{path} has a damaged header: {error}") from error
+    version = header.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise CheckpointError(
+            f"{path} is snapshot format version {version!r}; this build reads "
+            f"version {SNAPSHOT_VERSION}"
+        )
+    payload = blob[offset + header_len :]
+    if len(payload) != header.get("length"):
+        raise CheckpointError(
+            f"{path} is truncated: payload {len(payload)} bytes, header "
+            f"declares {header.get('length')}"
+        )
+    if zlib.crc32(payload) != header.get("crc32"):
+        raise CheckpointError(f"{path} failed its CRC-32 check (corrupt payload)")
+    content = pickle.loads(payload)
+    if expect_identity is not None and content["identity"] != expect_identity:
+        raise CheckpointError(
+            f"{path} belongs to a different run: snapshot identity "
+            f"{content['identity']!r}, this run is {expect_identity!r}"
+        )
+    return content["state"]
+
+
+class DeferredInterrupt:
+    """Hold SIGINT until the run loop reaches a consistent boundary.
+
+    A Ctrl-C landing mid-chunk would abandon the transactions already
+    snooped but not yet checkpointed.  Inside this context manager the
+    default SIGINT handler is replaced by one that only sets a flag; the
+    run loop polls :attr:`pending` at each checkpoint boundary, writes a
+    final snapshot, and then calls :meth:`deliver` to raise the held
+    ``KeyboardInterrupt``.  On exit the previous handler is restored,
+    and a still-pending interrupt is re-raised so it is never lost.
+
+    Signal handlers can only be installed from the main thread; from
+    worker threads/processes this becomes a no-op whose ``pending`` is
+    always False (workers are interrupted by the supervisor instead).
+    """
+
+    def __init__(self) -> None:
+        self.pending = False
+        self._previous = None
+        self._installed = False
+
+    def __enter__(self) -> "DeferredInterrupt":
+        if threading.current_thread() is threading.main_thread():
+            self._previous = signal.getsignal(signal.SIGINT)
+            signal.signal(signal.SIGINT, self._handle)
+            self._installed = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._installed:
+            signal.signal(signal.SIGINT, self._previous)
+            self._installed = False
+        if self.pending and exc_type is None:
+            self.pending = False
+            raise KeyboardInterrupt
+
+    def _handle(self, signum, frame) -> None:
+        self.pending = True
+
+    def deliver(self) -> None:
+        """Raise the held interrupt (call after the drain snapshot)."""
+        if self.pending:
+            self.pending = False
+            raise KeyboardInterrupt

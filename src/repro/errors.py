@@ -87,6 +87,42 @@ class SweepInterrupted(ReproError):
         super().__init__(f"sweep interrupted: {completed}/{total} points completed")
 
 
+class CheckpointError(ReproError):
+    """A co-simulation checkpoint could not be written, read, or applied.
+
+    Raised when a snapshot file is damaged (bad magic, version, or CRC),
+    or when a checkpoint is resumed against a platform whose identity
+    (workload, core count, cache configuration, replay-log fingerprint)
+    does not match the one that wrote it.  Resuming a mismatched
+    snapshot would silently blend two different experiments, which is
+    exactly the class of corruption the audit layer exists to catch —
+    so the mismatch is an error, never a best-effort merge.
+    """
+
+
+class AuditError(ReproError):
+    """A completed run failed its end-of-run consistency audit.
+
+    Carries the full :class:`~repro.audit.report.AuditReport` so the
+    caller can see every violated invariant, not just the first.  Only
+    raised in strict mode; lenient runs convert the violations into
+    degradation records instead.
+    """
+
+    def __init__(self, report) -> None:
+        self.report = report
+        names = ", ".join(check.name for check in report.violations)
+        super().__init__(
+            f"run failed {len(report.violations)} audit check(s): {names}"
+        )
+
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the message) into
+        # ``__init__``, which expects a report — rebuild from the report
+        # instead so the error survives the worker→parent hop intact.
+        return (AuditError, (self.report,))
+
+
 class TraceError(ReproError):
     """A memory trace was malformed or streams could not be combined."""
 

@@ -18,6 +18,9 @@ from typing import Iterable, Mapping
 #: Record sources.
 INJECTED = "injected"
 RECOVERED = "recovered"
+#: A lenient-mode run whose end-of-run audit found violated invariants
+#: (strict mode raises :class:`~repro.errors.AuditError` instead).
+AUDIT = "audit"
 
 
 @dataclass(frozen=True, slots=True)

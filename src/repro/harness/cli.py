@@ -28,13 +28,14 @@ from __future__ import annotations
 import argparse
 from fractions import Fraction
 
+from repro.audit import AUDIT_MODES, AUDIT_OFF, resolve_audit_mode
 from repro.cache.emulator import DragonheadConfig
 from repro.core.phases import phase_summary
-from repro.errors import SweepInterrupted
+from repro.errors import AuditError, SweepInterrupted, SweepPointError
 from repro.faults.report import merge_records
 from repro.faults.spec import parse_fault_spec
 from repro.harness.replay import log_cache_key, replay_sweep
-from repro.harness.report import render_degradation_report
+from repro.harness.report import render_audit_report, render_degradation_report
 from repro.harness.supervisor import SupervisorPolicy, SweepJournal, supervise
 from repro.trace.cache import resolve_trace_cache
 from repro.units import format_size, parse_size
@@ -144,6 +145,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip points already recorded in --journal FILE",
     )
+    parser.add_argument(
+        "--audit",
+        choices=sorted(AUDIT_MODES),
+        default=None,
+        help="end-of-run invariant audit: 'sample' checks conservation, "
+        "cross-domain, and a 1-in-64 LRU differential oracle; 'full' "
+        "oracles every set (default: $REPRO_AUDIT, else off)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="snapshot each sweep point's mid-run state under DIR so a "
+        "killed or timed-out point resumes where it stopped "
+        "(bit-identical to an uninterrupted run)",
+    )
+    parser.add_argument(
+        "--fail-on-degraded",
+        action="store_true",
+        help="exit nonzero if any result carries degradation records "
+        "(injected faults, recovered anomalies, or lenient-mode audit "
+        "violations)",
+    )
     return parser
 
 
@@ -183,10 +207,16 @@ def main(argv: list[str] | None = None) -> int:
         if damaged:
             print(f"injected trace corruption into {damaged} cache entry file(s)")
 
+    audit_mode = resolve_audit_mode(args.audit)
     policy = SupervisorPolicy(timeout=args.timeout, retries=args.retries)
     journal = SweepJournal(args.journal, resume=args.resume) if args.journal else None
     try:
-        with supervise(policy, journal=journal, fault_spec=fault_spec) as ctx:
+        with supervise(
+            policy,
+            journal=journal,
+            fault_spec=fault_spec,
+            checkpoint_dir=args.checkpoint_dir,
+        ) as ctx:
             results = replay_sweep(
                 guest,
                 args.cores,
@@ -197,10 +227,25 @@ def main(argv: list[str] | None = None) -> int:
                 key_extra=key_extra,
                 spec=fault_spec,
                 lenient=args.lenient,
+                audit=audit_mode,
             )
     except SweepInterrupted as interrupted:
         print(f"interrupted: {interrupted}")
         return 130
+    except AuditError as error:
+        # Strict mode: a violated invariant is a wrong answer, not a
+        # statistic — print what broke and fail loudly.
+        print(f"audit failed: {error}")
+        print(error.report.describe())
+        return 3
+    except SweepPointError as error:
+        # The supervisor wraps worker errors; an audit failure is
+        # deterministic, so retries cannot save it — unwrap and report.
+        if isinstance(error.cause, AuditError):
+            print(f"audit failed on point {error.point!r}: {error.cause}")
+            print(error.cause.report.describe())
+            return 3
+        raise
     finally:
         if journal is not None:
             journal.close()
@@ -240,12 +285,22 @@ def main(argv: list[str] | None = None) -> int:
             )
     if trace_cache is not None:
         print(f"  trace cache          : {trace_cache.stats.describe()} ({trace_cache.root})")
+    if audit_mode != AUDIT_OFF:
+        print()
+        print(render_audit_report(results))
     if fault_spec is not None or args.lenient:
         merged = merge_records(*(result.degradation for result in results))
         print()
         print(render_degradation_report(merged))
-        if ctx.counts:
-            print(f"supervisor events: {ctx.describe()}")
+    if ctx.counts:
+        # Noteworthy only: empty on a clean un-resumed run, so the
+        # byte-identical serial-vs-parallel contract is undisturbed.
+        print(f"supervisor events: {ctx.describe()}")
+    if args.fail_on_degraded and any(
+        result is not None and result.degraded for result in results
+    ):
+        print("failing: degradation records present (--fail-on-degraded)")
+        return 4
     return 0
 
 

@@ -32,23 +32,31 @@ pickled per task.
 
 from __future__ import annotations
 
-import json
+import contextlib
+import os
 from dataclasses import dataclass
-from pathlib import Path
 from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.cache.emulator import DragonheadConfig, DragonheadEmulator
-from repro.cache.emulator import AddressFilter
+from repro.audit import AUDIT_FULL, AUDIT_OFF, OracleTap, resolve_audit_mode, run_audit
+from repro.audit.oracle import SAMPLE_EVERY
+from repro.cache.emulator import (
+    BANK_SHIFT,
+    NUM_BANKS,
+    AddressFilter,
+    DragonheadConfig,
+    DragonheadEmulator,
+)
+from repro.checkpoint import DeferredInterrupt, read_snapshot, write_snapshot
 from repro.core.cosim import CoSimResult
 from repro.core.fsb import FrontSideBus, FSBTransaction
 from repro.core.softsdv import GuestWorkload, SoftSDV
-from repro.errors import TraceError
+from repro.errors import AuditError, CheckpointError, TraceError
 from repro.faults.report import merge_records
 from repro.faults.spec import FaultSpec
 from repro.protocol import Message, MessageCodec, MessageKind
-from repro.trace.cache import TraceCache, cache_key
+from repro.trace.cache import TraceCache, cache_key, load_validated_entry
 from repro.trace.record import AccessKind, TraceChunk
 from repro.harness.parallel import parallel_map, resolve_jobs
 
@@ -58,6 +66,20 @@ EVENT_PROGRESS = 1  #: (EVENT_PROGRESS, instructions, cycles): counters
 
 #: Array names used when a log is stored in a :class:`TraceCache`.
 _ARRAY_NAMES = ("addresses", "kinds", "pcs", "events")
+
+#: Snapshot interval (replayed data transactions) used when a supervised
+#: sweep hands a worker a checkpoint path without an explicit interval.
+DEFAULT_CHECKPOINT_EVERY = 1 << 20
+
+#: Environment override for that interval — lets CI (and impatient
+#: operators) force frequent snapshots on short runs without a per-task
+#: parameter.
+CHECKPOINT_EVERY_ENV = "REPRO_CHECKPOINT_EVERY"
+
+
+def _checkpoint_interval() -> int:
+    value = os.environ.get(CHECKPOINT_EVERY_ENV)
+    return int(value) if value else DEFAULT_CHECKPOINT_EVERY
 
 
 @dataclass(frozen=True)
@@ -283,7 +305,7 @@ def _issue_message(port, message: Message) -> None:
         port.snoop(FSBTransaction(address=address, kind=AccessKind.WRITE))
 
 
-def replay_into(log: ReplayLog, port) -> None:
+def replay_into(log: ReplayLog, port, on_event=None, resume=None) -> None:
     """Drive a snoop port with a captured log, through its public face.
 
     ``port`` is anything with the BusSnooper interface — usually a
@@ -292,20 +314,39 @@ def replay_into(log: ReplayLog, port) -> None:
     messages are re-encoded and re-decoded, so the AF's session checks,
     counter monotonicity guards, and window sampling behave exactly as
     on a live bus.
+
+    Args:
+        on_event: called after each event row with the replay position
+            ``{"event_index", "start", "current_core"}`` — every event
+            boundary is a consistent checkpoint point, since all state
+            transitions live in the snooped emulator.
+        resume: a position dict from a checkpoint.  The session opener
+            (filtered-counter restore + START message) is skipped — the
+            AF state it would have produced is restored separately —
+            and replay continues from the recorded event.
     """
-    # Out-of-window traffic never reaches the banks; only its count is
-    # architecturally visible, so restore the counter instead of
-    # replaying thousands of discarded noise transactions.  The counter
-    # lives on the emulator's AF, behind whatever wraps it.
-    af_owner = getattr(port, "downstream", port)
-    af_owner.af.filtered_transactions += log.filtered
-    _issue_message(port, Message(MessageKind.START_EMULATION))
     addresses = log.addresses
     kinds = log.kinds
     pcs = log.pcs
-    start = 0
-    current_core: int | None = None
-    for opcode, a, b in log.events:
+    if resume is None:
+        # Out-of-window traffic never reaches the banks; only its count
+        # is architecturally visible, so restore the counter instead of
+        # replaying thousands of discarded noise transactions.  The
+        # counter lives on the emulator's AF, behind whatever wraps it.
+        af_owner = getattr(port, "downstream", port)
+        af_owner.af.filtered_transactions += log.filtered
+        _issue_message(port, Message(MessageKind.START_EMULATION))
+        first_event = 0
+        start = 0
+        current_core: int | None = None
+    else:
+        first_event = int(resume["event_index"])
+        start = int(resume["start"])
+        core_state = resume["current_core"]
+        current_core = None if core_state is None else int(core_state)
+    events = log.events
+    for event_index in range(first_event, len(events)):
+        opcode, a, b = events[event_index]
         if int(opcode) == EVENT_DATA:
             end, core = int(a), int(b)
             if core != current_core:
@@ -318,7 +359,64 @@ def replay_into(log: ReplayLog, port) -> None:
         else:
             _issue_message(port, Message(MessageKind.INSTRUCTIONS_RETIRED, int(a)))
             _issue_message(port, Message(MessageKind.CYCLES_COMPLETED, int(b)))
+        if on_event is not None:
+            on_event(
+                {
+                    "event_index": event_index + 1,
+                    "start": start,
+                    "current_core": current_core,
+                }
+            )
     _issue_message(port, Message(MessageKind.STOP_EMULATION))
+
+
+def _replay_identity(
+    log: ReplayLog, config: DragonheadConfig, lenient: bool, audit_mode: str
+) -> dict:
+    """What a replay checkpoint must match to be resumable.
+
+    The log's shape counters are a cheap fingerprint: resuming against
+    a different captured log with the same workload label would change
+    at least one of them.
+    """
+    return {
+        "kind": "replay",
+        "workload": log.workload,
+        "cores": log.cores,
+        "quantum": log.quantum,
+        "accesses": log.accesses,
+        "instructions": log.instructions,
+        "filtered": log.filtered,
+        "events": len(log.events),
+        "config": repr(config),
+        "lenient": lenient,
+        "audit": audit_mode,
+    }
+
+
+def _scheduler_cycles(log: ReplayLog) -> int:
+    """The simulation-domain cycle total: the last progress event's."""
+    cycles = 0
+    for opcode, _a, b in log.events:
+        if int(opcode) == EVENT_PROGRESS:
+            cycles = int(b)
+    return cycles
+
+
+def _attach_audit_oracle(emulator: DragonheadEmulator, mode: str) -> None:
+    """Hook the differential LRU oracle (LRU configurations only)."""
+    if mode == AUDIT_OFF or emulator.config.policy.lower() != "lru":
+        return
+    bank_config = emulator.config.bank_config(0)
+    emulator.attach_oracle(
+        OracleTap(
+            num_sets=bank_config.num_sets,
+            associativity=bank_config.associativity,
+            num_banks=NUM_BANKS,
+            bank_shift=BANK_SHIFT,
+            every=1 if mode == AUDIT_FULL else SAMPLE_EVERY,
+        )
+    )
 
 
 def replay(
@@ -326,6 +424,10 @@ def replay(
     config: DragonheadConfig,
     spec: FaultSpec | None = None,
     lenient: bool = False,
+    audit: str | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_path: str | None = None,
+    resume_from: str | None = None,
 ) -> CoSimResult:
     """One configuration's worth of a sweep: fresh emulator, one pass.
 
@@ -333,9 +435,14 @@ def replay(
     :class:`~repro.faults.injector.FaultInjector` between the replayed
     stream and the emulator's snoop port, keyed to the grid point so
     every (workload, cores, config) gets its own deterministic fault
-    stream regardless of worker count or replay order.
+    stream regardless of worker count or replay order.  ``audit`` and
+    the checkpoint knobs mirror :meth:`~repro.core.cosim.CoSimPlatform.
+    run`: the resumed replay is bit-identical to an uninterrupted one,
+    and the audit report equals the fresh run's.
     """
+    audit_mode = resolve_audit_mode(audit)
     emulator = DragonheadEmulator(config, strict=not lenient)
+    _attach_audit_oracle(emulator, audit_mode)
     port = emulator
     injector = None
     if spec is not None and spec.touches_bus:
@@ -347,11 +454,77 @@ def replay(
             point=(log.workload, log.cores, config.cache_size, config.line_size),
         )
         port = injector
-    replay_into(log, port)
+    if checkpoint_path is None:
+        checkpoint_path = resume_from
+    checkpointing = checkpoint_every is not None and checkpoint_path is not None
+    if checkpoint_every is not None and checkpoint_every <= 0:
+        raise CheckpointError(
+            f"checkpoint_every must be positive, got {checkpoint_every}"
+        )
+    if checkpointing and injector is not None:
+        raise CheckpointError(
+            "checkpointing is not supported with bus fault injection: the "
+            "injector's decision stream is positional and would diverge on "
+            "resume"
+        )
+    identity = _replay_identity(log, config, lenient, audit_mode)
+    resume_position = None
+    if resume_from is not None and os.path.exists(resume_from):
+        state = read_snapshot(resume_from, expect_identity=identity)
+        emulator.load_state_dict(state["emulator"])
+        resume_position = state["replay"]
+    if checkpointing:
+        guard: DeferredInterrupt | contextlib.AbstractContextManager = (
+            DeferredInterrupt()
+        )
+    else:
+        guard = contextlib.nullcontext()
+    with guard as interrupt:
+        if checkpointing:
+            last_snapshot = (
+                0 if resume_position is None else int(resume_position["start"])
+            )
+
+            def on_event(position: dict) -> None:
+                nonlocal last_snapshot
+                due = position["start"] - last_snapshot >= checkpoint_every
+                if due or interrupt.pending:
+                    write_snapshot(
+                        checkpoint_path,
+                        {"replay": position, "emulator": emulator.state_dict()},
+                        identity,
+                    )
+                    last_snapshot = position["start"]
+                interrupt.deliver()
+
+            replay_into(log, port, on_event=on_event, resume=resume_position)
+        else:
+            replay_into(log, port, resume=resume_position)
     if injector is not None:
         injector.flush()
     performance = emulator.read_performance_data()
     injected = injector.records if injector is not None else ()
+    degradation = merge_records(injected, performance.degradation)
+    audit_report = None
+    if audit_mode != AUDIT_OFF:
+        audit_report = run_audit(
+            emulator,
+            performance,
+            mode=audit_mode,
+            expected_instructions=log.instructions,
+            expected_cycles=_scheduler_cycles(log),
+        )
+        if not audit_report.ok:
+            if not lenient:
+                raise AuditError(audit_report)
+            degradation = merge_records(
+                degradation, audit_report.degradation_records()
+            )
+    if checkpointing:
+        try:
+            os.unlink(checkpoint_path)
+        except OSError:
+            pass
     return CoSimResult(
         workload=log.workload,
         cores=log.cores,
@@ -359,7 +532,8 @@ def replay(
         instructions=log.instructions,
         accesses=performance.stats.accesses,
         filtered=performance.filtered_transactions,
-        degradation=merge_records(injected, performance.degradation),
+        degradation=degradation,
+        audit=audit_report,
     )
 
 
@@ -437,22 +611,46 @@ class _LogHandle:
     def resolve(self) -> ReplayLog:
         if self.log is not None:
             return self.log
-        entry = Path(self.entry_dir)
-        with open(entry / "manifest.json", "r", encoding="utf-8") as handle:
-            manifest = json.load(handle)
-        arrays = {
-            name: np.load(entry / spec["file"], mmap_mode="r")
-            for name, spec in manifest["arrays"].items()
-        }
-        return ReplayLog.from_payload(manifest["meta"], arrays)
+        # Full validation before memory-mapping — manifest self-CRC,
+        # then per-array checksums — so a worker that loses a race with
+        # a concurrent quarantine fails loudly instead of replaying a
+        # damaged log.
+        meta, arrays = load_validated_entry(self.entry_dir)
+        return ReplayLog.from_payload(meta, arrays)
 
 
 def _replay_task(
-    task: tuple[_LogHandle, DragonheadConfig, FaultSpec | None, bool]
+    task: tuple[_LogHandle, DragonheadConfig, FaultSpec | None, bool, str | None],
+    checkpoint_path: str | None = None,
 ) -> CoSimResult:
-    """One (log, config) replay — module-level so it crosses processes."""
-    handle, config, spec, lenient = task
-    return replay(handle.resolve(), config, spec=spec, lenient=lenient)
+    """One (log, config) replay — module-level so it crosses processes.
+
+    ``checkpoint_path`` arrives from the sweep supervisor (see
+    ``supports_checkpoint`` below): the point snapshots there as it
+    runs and resumes from it after a timeout, crash, or SIGKILL.
+    """
+    handle, config, spec, lenient, audit = task
+    # Bus fault injection and checkpointing are mutually exclusive (the
+    # injector's decision stream is positional); a fault-injected sweep
+    # under a checkpointing supervisor simply runs its points unresumed.
+    checkpointable = checkpoint_path is not None and (
+        spec is None or not spec.touches_bus
+    )
+    return replay(
+        handle.resolve(),
+        config,
+        spec=spec,
+        lenient=lenient,
+        audit=audit,
+        checkpoint_every=_checkpoint_interval() if checkpointable else None,
+        checkpoint_path=checkpoint_path if checkpointable else None,
+        resume_from=checkpoint_path if checkpointable else None,
+    )
+
+
+#: Tells the supervisor this task accepts a per-point checkpoint path.
+#: A function attribute survives pickling-by-reference into workers.
+_replay_task.supports_checkpoint = True  # type: ignore[attr-defined]
 
 
 def replay_map(
@@ -462,6 +660,7 @@ def replay_map(
     entry_dir: str | None = None,
     spec: FaultSpec | None = None,
     lenient: bool = False,
+    audit: str | None = None,
 ) -> list[CoSimResult]:
     """Fan one captured log out to every configuration.
 
@@ -470,9 +669,11 @@ def replay_map(
     memory-map it from disk instead of receiving pickled copies, so the
     log exists once no matter how wide the fan-out.  ``spec`` and
     ``lenient`` ride along to every point (the injector re-seeds itself
-    per grid point, so fan-out width never changes the fault stream).
+    per grid point, so fan-out width never changes the fault stream);
+    ``audit`` audits every point's result.
     """
     configs = list(configs)
+    audit_mode = resolve_audit_mode(audit)
     from repro.harness.supervisor import active_context
 
     # With no supervisor installed, a serial sweep skips the map
@@ -480,7 +681,8 @@ def replay_map(
     # through the supervised map so journaling and retries apply.
     if active_context() is None and (resolve_jobs(jobs) <= 1 or len(configs) < 2):
         return [
-            replay(log, config, spec=spec, lenient=lenient) for config in configs
+            replay(log, config, spec=spec, lenient=lenient, audit=audit_mode)
+            for config in configs
         ]
     handle = (
         _LogHandle(entry_dir=entry_dir)
@@ -489,7 +691,7 @@ def replay_map(
     )
     return parallel_map(
         _replay_task,
-        [(handle, config, spec, lenient) for config in configs],
+        [(handle, config, spec, lenient, audit_mode) for config in configs],
         jobs=jobs,
     )
 
@@ -505,6 +707,7 @@ def replay_sweep(
     key_extra: Mapping[str, object] | None = None,
     spec: FaultSpec | None = None,
     lenient: bool = False,
+    audit: str | None = None,
 ) -> list[CoSimResult]:
     """The engine's front door: one generation pass, N configurations.
 
@@ -521,7 +724,13 @@ def replay_sweep(
         key_extra=key_extra,
     )
     return replay_map(
-        log, configs, jobs=jobs, entry_dir=entry_dir, spec=spec, lenient=lenient
+        log,
+        configs,
+        jobs=jobs,
+        entry_dir=entry_dir,
+        spec=spec,
+        lenient=lenient,
+        audit=audit,
     )
 
 

@@ -64,6 +64,44 @@ def render_degradation_report(
     return render_table(["kind", "source", "count", "detail"], rows, title=title)
 
 
+def render_audit_report(
+    results: Sequence[object], title: str = "Audit report"
+) -> str:
+    """Summarize the end-of-run invariant audits of a result list.
+
+    ``results`` are :class:`~repro.core.cosim.CoSimResult` instances;
+    those without an audit report (auditing off, or a degraded point
+    replaced by a failure value) are counted but not tabulated.  Clean
+    audits collapse to one line per mode; violations get a table row
+    per failed check so the operator sees what broke where.
+    """
+    results = [r for r in results if r is not None]
+    audited = [r for r in results if getattr(r, "audit", None) is not None]
+    if not audited:
+        return f"{title}: no runs were audited"
+    lines = [title + ":"]
+    checks = sum(len(r.audit.checks) for r in audited)
+    failed = [(r, check) for r in audited for check in r.audit.violations]
+    modes = sorted({r.audit.mode for r in audited})
+    lines.append(
+        f"  {len(audited)}/{len(results)} runs audited "
+        f"(mode {', '.join(modes)}), {checks} checks, "
+        f"{len(failed)} violation(s)"
+    )
+    if failed:
+        rows = [
+            [
+                getattr(result, "workload", "?"),
+                getattr(result, "cores", "?"),
+                check.name,
+                check.detail,
+            ]
+            for result, check in failed
+        ]
+        lines.append(render_table(["workload", "cores", "check", "detail"], rows))
+    return "\n".join(lines)
+
+
 def render_series_table(
     axis_label: str,
     axis_values: Sequence[str],

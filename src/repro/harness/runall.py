@@ -23,8 +23,10 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 
+from repro.audit import AUDIT_ENV, AUDIT_MODES
 from repro.errors import SweepInterrupted, SweepPointError
 from repro.faults.spec import parse_fault_spec
 from repro.harness import (
@@ -122,6 +124,27 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip points already checkpointed in the journal",
     )
+    parser.add_argument(
+        "--audit",
+        choices=sorted(AUDIT_MODES),
+        default=None,
+        help="end-of-run invariant audit for every co-simulated point "
+        "(delivered via $REPRO_AUDIT so the exhibit harnesses need no "
+        "new parameters; default: $REPRO_AUDIT, else off)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="snapshot each sweep point's mid-run state under DIR so "
+        "killed or timed-out points resume where they stopped",
+    )
+    parser.add_argument(
+        "--fail-on-degraded",
+        action="store_true",
+        help="exit nonzero if any exhibit or sweep point degraded "
+        "instead of completing cleanly",
+    )
     args = parser.parse_args(argv)
     from repro.trace.cache import resolve_trace_cache
 
@@ -134,8 +157,18 @@ def main(argv: list[str] | None = None) -> int:
     policy = SupervisorPolicy(timeout=args.timeout, retries=args.retries)
     exhibits = PAPER_EXHIBITS + (EXTENDED_EXHIBITS if args.extended else ())
     degraded: list[str] = []
+    if args.audit is not None:
+        # The exhibit harnesses take no audit parameter; the environment
+        # knob reaches every replay()/run() call, worker processes
+        # included, without touching their signatures.
+        os.environ[AUDIT_ENV] = args.audit
     try:
-        with supervise(policy, journal=journal, fault_spec=fault_spec) as context:
+        with supervise(
+            policy,
+            journal=journal,
+            fault_spec=fault_spec,
+            checkpoint_dir=args.checkpoint_dir,
+        ) as context:
             for exhibit in exhibits:
                 kwargs: dict[str, object] = {"jobs": args.jobs}
                 # Exact-path exhibits accept the trace cache; the
@@ -167,6 +200,11 @@ def main(argv: list[str] | None = None) -> int:
 
         for path in export_all(args.csv):
             print(f"wrote {path}")
+    if args.fail_on_degraded and (
+        degraded or context.counts.get("point-degraded")
+    ):
+        print("failing: degraded exhibits or points present (--fail-on-degraded)")
+        return 4
     return 0
 
 

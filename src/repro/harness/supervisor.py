@@ -53,6 +53,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterator
 
 from repro.errors import (
+    ConfigurationError,
     FaultInjectionError,
     SweepInterrupted,
     SweepPointError,
@@ -60,8 +61,12 @@ from repro.errors import (
 from repro.faults.spec import FaultSpec
 from repro.harness.parallel import resolve_jobs
 
-#: Journal schema version (first line of every journal file).
-JOURNAL_FORMAT = 1
+#: Journal schema version (header line of every journal file).  v2
+#: stamps every *entry* with a ``schema`` field as well, so a single
+#: line pasted out of context still identifies its format; resuming a
+#: journal with a missing or unknown version is a hard error, never a
+#: silent reinterpretation of old bytes.
+JOURNAL_FORMAT = 2
 
 _UNSET = object()
 
@@ -119,18 +124,50 @@ class SweepJournal:
 
     def _load(self) -> None:
         with open(self.path, "r", encoding="utf-8") as handle:
+            header_seen = False
             for line in handle:
                 line = line.strip()
                 if not line:
                     continue
+                if not header_seen:
+                    header_seen = True
+                    self._check_header(line)
+                    continue
                 try:
                     row = json.loads(line)
                     if "key" in row:
+                        if row.get("schema") != JOURNAL_FORMAT:
+                            raise ConfigurationError(
+                                f"journal {self.path} entry carries schema "
+                                f"{row.get('schema')!r}; this build reads "
+                                f"{JOURNAL_FORMAT} — delete the journal or "
+                                "rerun without --resume"
+                            )
                         self.entries[row["key"]] = pickle.loads(
                             base64.b85decode(row["result"])
                         )
                 except (ValueError, KeyError, pickle.UnpicklingError, EOFError):
                     continue  # torn tail line from a crash: skip it
+
+    def _check_header(self, line: str) -> None:
+        """Refuse to resume from a journal of a different schema."""
+        try:
+            header = json.loads(line)
+            version = header.get("format") if isinstance(header, dict) else None
+        except ValueError:
+            version = None
+        if version is None:
+            raise ConfigurationError(
+                f"journal {self.path} has no schema version header — it "
+                "predates versioned journals or is not a sweep journal; "
+                "delete it or rerun without --resume"
+            )
+        if version != JOURNAL_FORMAT:
+            raise ConfigurationError(
+                f"journal {self.path} was written with schema {version}; "
+                f"this build reads {JOURNAL_FORMAT} — delete the journal "
+                "or rerun without --resume"
+            )
 
     def _write_line(self, row: dict) -> None:
         self._handle.write(json.dumps(row, sort_keys=True) + "\n")
@@ -153,7 +190,9 @@ class SweepJournal:
         """Checkpoint one completed point (idempotent per key)."""
         self.entries[key] = result
         encoded = base64.b85encode(pickle.dumps(result, protocol=4)).decode("ascii")
-        self._write_line({"key": key, "result": encoded})
+        self._write_line(
+            {"schema": JOURNAL_FORMAT, "key": key, "result": encoded}
+        )
 
     def close(self) -> None:
         if not self._handle.closed:
@@ -173,9 +212,16 @@ class SupervisorContext:
     policy: SupervisorPolicy = field(default_factory=SupervisorPolicy)
     journal: SweepJournal | None = None
     fault_spec: FaultSpec | None = None
+    #: Directory for per-point mid-run snapshots.  Tasks that advertise
+    #: ``supports_checkpoint = True`` receive a per-point path under it
+    #: (keyed by the point's content key), snapshot there as they run,
+    #: and resume from the snapshot when a timeout, crash, or SIGKILL
+    #: forces a re-run — the retry continues mid-point instead of
+    #: starting over, and the result stays bit-identical.
+    checkpoint_dir: str | None = None
     #: Aggregated event counters across all supervised maps:
     #: journal-skip, worker-crash, worker-hang-injected, point-timeout,
-    #: point-retry, point-degraded, pool-respawn.
+    #: point-retry, point-degraded, point-resumed, pool-respawn.
     counts: dict[str, int] = field(default_factory=dict)
     completed: int = 0
     total: int = 0
@@ -202,6 +248,7 @@ def supervise(
     policy: SupervisorPolicy | None = None,
     journal: SweepJournal | None = None,
     fault_spec: FaultSpec | None = None,
+    checkpoint_dir: str | os.PathLike | None = None,
 ) -> Iterator[SupervisorContext]:
     """Install a supervisor context for the duration of a sweep.
 
@@ -210,10 +257,13 @@ def supervise(
     exhibit harnesses need no new parameters to become fault-tolerant.
     """
     global _ACTIVE
+    if checkpoint_dir is not None:
+        Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
     context = SupervisorContext(
         policy=policy or SupervisorPolicy(),
         journal=journal,
         fault_spec=fault_spec,
+        checkpoint_dir=None if checkpoint_dir is None else str(checkpoint_dir),
     )
     previous = _ACTIVE
     _ACTIVE = context
@@ -226,7 +276,13 @@ def supervise(
 # -- worker-side entry ---------------------------------------------------
 
 
-def _run_point(task: Callable, item: Any, fault: str | None, hang_seconds: float):
+def _run_point(
+    task: Callable,
+    item: Any,
+    fault: str | None,
+    hang_seconds: float,
+    checkpoint_path: str | None = None,
+):
     """Execute one grid point in a worker, applying any planned fault.
 
     An injected *crash* kills the worker process outright (the honest
@@ -234,11 +290,17 @@ def _run_point(task: Callable, item: Any, fault: str | None, hang_seconds: float
     ``BrokenProcessPool``, not as a tidy exception); an injected *hang*
     stalls for ``hang_seconds`` before running the point, so an untimed
     sweep still finishes, merely late.
+
+    ``checkpoint_path`` is forwarded only to tasks that advertise
+    ``supports_checkpoint``; the task snapshots there as it runs and
+    resumes from it if this attempt is not the first.
     """
     if fault == "crash":
         os._exit(73)
     elif fault == "hang":
         time.sleep(hang_seconds)
+    if checkpoint_path is not None:
+        return task(item, checkpoint_path=checkpoint_path)
     return task(item)
 
 
@@ -285,8 +347,20 @@ def supervised_map(
     context.total += n
     results: list[Any] = [_UNSET] * n
 
-    need_keys = context.journal is not None or context.fault_spec is not None
+    checkpointing = context.checkpoint_dir is not None and getattr(
+        task, "supports_checkpoint", False
+    )
+    need_keys = (
+        context.journal is not None
+        or context.fault_spec is not None
+        or checkpointing
+    )
     keys = [SweepJournal.point_key(task, item) for item in work] if need_keys else None
+    ckpt_paths: list[str | None] = [None] * n
+    if checkpointing:
+        ckpt_paths = [
+            os.path.join(context.checkpoint_dir, key + ".ckpt") for key in keys
+        ]
 
     pending: list[int] = []
     for i in range(n):
@@ -301,9 +375,9 @@ def supervised_map(
 
     workers = min(resolve_jobs(jobs), len(pending))
     if workers <= 1:
-        _run_serial(task, work, pending, keys, results, context)
+        _run_serial(task, work, pending, keys, ckpt_paths, results, context)
     else:
-        _run_pool(task, work, pending, keys, results, context, workers)
+        _run_pool(task, work, pending, keys, ckpt_paths, results, context, workers)
     return results
 
 
@@ -317,6 +391,17 @@ def _point_fault(
     if fault is not None:
         context.count(f"worker-{fault}-injected")
     return fault
+
+
+def _note_resume(context: SupervisorContext, checkpoint_path: str | None) -> None:
+    """Count an attempt that will pick up from a mid-point snapshot.
+
+    A snapshot on disk at launch time means a previous attempt was cut
+    down mid-run (timeout, crash, SIGKILL) after at least one
+    checkpoint landed — the task resumes instead of starting over.
+    """
+    if checkpoint_path is not None and os.path.exists(checkpoint_path):
+        context.count("point-resumed")
 
 
 def _finish(
@@ -359,6 +444,7 @@ def _run_serial(
     work: list,
     pending: list[int],
     keys: list[str] | None,
+    ckpt_paths: list,
     results: list,
     context: SupervisorContext,
 ) -> None:
@@ -373,12 +459,18 @@ def _run_serial(
         attempt = 0
         while True:
             fault = _point_fault(context, keys, i, attempt)
+            _note_resume(context, ckpt_paths[i])
             try:
                 if fault == "crash":
                     raise FaultInjectionError("injected worker crash (serial mode)")
                 if fault == "hang":
                     time.sleep(context.fault_spec.hang_seconds)
-                _finish(context, keys, results, i, task(work[i]))
+                value = (
+                    task(work[i], checkpoint_path=ckpt_paths[i])
+                    if ckpt_paths[i] is not None
+                    else task(work[i])
+                )
+                _finish(context, keys, results, i, value)
                 break
             except KeyboardInterrupt:
                 _drain_report(context, results)
@@ -397,6 +489,7 @@ def _run_pool(
     work: list,
     pending: list[int],
     keys: list[str] | None,
+    ckpt_paths: list,
     results: list,
     context: SupervisorContext,
     workers: int,
@@ -425,7 +518,15 @@ def _run_pool(
             hang_seconds = (
                 context.fault_spec.hang_seconds if context.fault_spec else 0.0
             )
-            future = executor.submit(_run_point, task, work[index], fault, hang_seconds)
+            _note_resume(context, ckpt_paths[index])
+            future = executor.submit(
+                _run_point,
+                task,
+                work[index],
+                fault,
+                hang_seconds,
+                ckpt_paths[index],
+            )
             deadline = now + policy.timeout if policy.timeout else None
             inflight[future] = _Flight(index=index, deadline=deadline)
 
@@ -560,5 +661,12 @@ def _drain_report(context: SupervisorContext, results: list) -> None:
         print(
             f"  journal: {context.journal.path} — re-run with --resume to "
             "skip completed points",
+            file=sys.stderr,
+        )
+    if context.checkpoint_dir is not None:
+        print(
+            f"  checkpoints: {context.checkpoint_dir} — in-flight points "
+            "left mid-run snapshots and will resume from them, not from "
+            "scratch",
             file=sys.stderr,
         )

@@ -54,15 +54,17 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TraceError
 
 #: Manifest file name inside every entry directory.
 MANIFEST_NAME = "manifest.json"
 
 #: Manifest schema version; bump on incompatible layout changes (old
 #: entries then simply miss and regenerate).  v2 added per-array CRC-32
-#: checksums.
-FORMAT_VERSION = 2
+#: checksums; v3 added the manifest's own CRC-32, verified before any
+#: array file is even stat'ed, closing the window where a concurrently
+#: quarantined (or torn) manifest steered a reader at the wrong files.
+FORMAT_VERSION = 3
 
 #: Suffix appended to a damaged entry's directory when it is moved
 #: aside instead of deleted.
@@ -101,6 +103,68 @@ def _file_crc32(path: Path) -> int:
         while chunk := handle.read(1 << 20):
             crc = zlib.crc32(chunk, crc)
     return crc
+
+
+def _manifest_crc(manifest: Mapping[str, object]) -> int:
+    """Self-checksum of a manifest: CRC-32 over its canonical JSON
+    (excluding the ``crc`` field itself)."""
+    body = {name: value for name, value in manifest.items() if name != "crc"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+def _read_entry(
+    entry: Path, mmap: bool, expect_key: str | None
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Validate and load one entry directory; raises on any damage.
+
+    The manifest's own CRC-32 is verified *first* — before any array
+    file is stat'ed, checksummed, or memory-mapped — so a torn or
+    tampered manifest can never steer the reader at the wrong files.
+    """
+    with open(entry / MANIFEST_NAME, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("crc") != _manifest_crc(manifest):
+        raise ValueError("manifest self-checksum mismatch")
+    if manifest.get("format") != FORMAT_VERSION:
+        raise ValueError("manifest schema mismatch")
+    if expect_key is not None and manifest.get("key") != expect_key:
+        raise ValueError("manifest key mismatch")
+    arrays: dict[str, np.ndarray] = {}
+    for name, spec in manifest["arrays"].items():
+        path = entry / spec["file"]
+        if path.stat().st_size != spec["file_bytes"]:
+            raise ValueError(f"array file {name!r} size mismatch")
+        if _file_crc32(path) != spec["crc32"]:
+            raise ValueError(f"array file {name!r} checksum mismatch")
+        array = np.load(path, mmap_mode="r" if mmap else None)
+        if str(array.dtype) != spec["dtype"] or list(array.shape) != list(
+            spec["shape"]
+        ):
+            raise ValueError(f"array {name!r} header mismatch")
+        arrays[name] = array
+    return manifest["meta"], arrays
+
+
+def load_validated_entry(
+    entry_dir: str | os.PathLike, mmap: bool = True
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Validate and load an entry by directory path (no cache object).
+
+    The sweep-worker path: fan-out workers receive an entry *path* and
+    memory-map it directly, without constructing a :class:`TraceCache`.
+    Runs the identical validation :meth:`TraceCache.load` runs —
+    manifest self-CRC first, then per-array size/checksum/header — and
+    raises :class:`~repro.errors.TraceError` on any damage instead of
+    silently mapping a concurrently quarantined or corrupted entry.
+    """
+    entry = Path(entry_dir)
+    try:
+        return _read_entry(entry, mmap, expect_key=None)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        raise TraceError(
+            f"trace-cache entry {entry} failed validation: {error}"
+        ) from error
 
 
 def cache_key(fields: Mapping[str, object]) -> str:
@@ -149,33 +213,13 @@ class TraceCache:
         the evidence while freeing the key for a clean republish.
         """
         entry = self.entry_dir(key)
-        manifest_path = entry / MANIFEST_NAME
-        try:
-            handle = open(manifest_path, "r", encoding="utf-8")
-        except FileNotFoundError:
+        if not (entry / MANIFEST_NAME).is_file():
             # No manifest means no entry at all — a clean miss, not
             # damage (the manifest is written last on store).
             self.stats.misses += 1
             return None
         try:
-            with handle:
-                manifest = json.load(handle)
-            if manifest.get("format") != FORMAT_VERSION or manifest.get("key") != key:
-                raise ValueError("manifest schema/key mismatch")
-            arrays: dict[str, np.ndarray] = {}
-            for name, spec in manifest["arrays"].items():
-                path = entry / spec["file"]
-                if path.stat().st_size != spec["file_bytes"]:
-                    raise ValueError(f"array file {name!r} size mismatch")
-                if _file_crc32(path) != spec["crc32"]:
-                    raise ValueError(f"array file {name!r} checksum mismatch")
-                array = np.load(path, mmap_mode="r" if mmap else None)
-                if str(array.dtype) != spec["dtype"] or list(array.shape) != list(
-                    spec["shape"]
-                ):
-                    raise ValueError(f"array {name!r} header mismatch")
-                arrays[name] = array
-            meta = manifest["meta"]
+            meta, arrays = _read_entry(entry, mmap, expect_key=key)
         except (OSError, ValueError, KeyError, TypeError) as error:
             # A present-but-damaged entry: count it, move it aside so
             # the next store can republish cleanly, and miss.
@@ -238,6 +282,7 @@ class TraceCache:
                 "meta": dict(meta),
                 "arrays": specs,
             }
+            manifest["crc"] = _manifest_crc(manifest)
             # Manifest last: its presence marks the entry complete.
             with open(tmp / MANIFEST_NAME, "w", encoding="utf-8") as handle:
                 json.dump(manifest, handle, sort_keys=True)
