@@ -6,10 +6,14 @@ and asserts its key shape property, so ``pytest benchmarks/
 
 This conftest also gives the suite a perf trajectory: benchmarks that
 measure the engine itself record their numbers through the
-``bench_record`` fixture, and at session end everything recorded lands
-in ``BENCH_cosim.json`` next to the repository root — machine-stamped,
-so runs on different hosts are never compared as if they were equal.
-CI uploads the file as a build artifact.
+``bench_record`` fixture, and at session end everything recorded is
+*appended* to the history in ``BENCH_cosim.json`` next to the
+repository root — each entry machine-stamped, so runs on different
+hosts are never compared as if they were equal.  A legacy single-run
+file (the pre-history format) is converted into the first history
+entry rather than discarded.  ``scripts/bench_compare.py`` diffs any
+two entries and exits nonzero on a hot-path regression; CI uploads the
+file as a build artifact.
 """
 
 from __future__ import annotations
@@ -25,6 +29,10 @@ import pytest
 
 #: Where the emitted results land (repo root; git-ignored).
 BENCH_RESULT_NAME = "BENCH_cosim.json"
+
+#: History-file schema: ``{"format": 2, "entries": [...]}``, newest
+#: entry last; each entry is ``{"machine": ..., "results": ...}``.
+BENCH_HISTORY_FORMAT = 2
 
 _RESULTS: dict[str, dict] = {}
 
@@ -56,11 +64,33 @@ def bench_record():
     return record
 
 
+def _load_history(path: Path) -> list[dict]:
+    """Existing entries, tolerating both formats and damaged files.
+
+    A pre-history file (one bare ``{"machine", "results"}`` object)
+    becomes the first entry; an unreadable file costs the old history
+    but never the new run.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+    except (OSError, ValueError):
+        return []
+    if isinstance(existing, dict) and "entries" in existing:
+        entries = existing["entries"]
+        return list(entries) if isinstance(entries, list) else []
+    if isinstance(existing, dict) and "results" in existing:
+        return [existing]  # legacy single-run file: keep it as entry 0
+    return []
+
+
 def pytest_sessionfinish(session, exitstatus):
     if not _RESULTS:
         return
     path = Path(__file__).resolve().parent.parent / BENCH_RESULT_NAME
-    payload = {"machine": _machine_stamp(), "results": _RESULTS}
+    entries = _load_history(path)
+    entries.append({"machine": _machine_stamp(), "results": _RESULTS})
+    payload = {"format": BENCH_HISTORY_FORMAT, "entries": entries}
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

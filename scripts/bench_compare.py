@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Compare two entries of the ``BENCH_cosim.json`` benchmark history.
+
+The benchmark conftest appends one machine-stamped entry per session to
+the history file; this script diffs two of them — by default the last
+two, so ``python scripts/bench_compare.py`` after a benchmark run
+answers "did this change slow the engine down?".  It exits nonzero
+when any *hot-path* metric regressed by more than the threshold
+(default 10%), which is what the perf gate in CI keys on.
+
+Metric direction is inferred from the name, matching the conventions
+the benchmarks already use:
+
+* higher is better: ``speedup``, anything containing ``per_second``;
+* lower is better: anything ending in ``seconds``;
+* everything else (workload names, core counts, sizes) is context and
+  is compared for information only, never gated on.
+
+Entries from different machines are still compared — benchmark hosts
+differ in CI — but the report says so loudly, because a cross-host
+"regression" usually measures the hardware, not the code.
+
+Usage::
+
+    python scripts/bench_compare.py                 # last two entries
+    python scripts/bench_compare.py --base 0 --new -1
+    python scripts/bench_compare.py --file BENCH_cosim.json --threshold 0.15
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Hot-path regression gate: a gated metric this much worse fails.
+DEFAULT_THRESHOLD = 0.10
+
+
+def load_entries(path: Path) -> list[dict]:
+    """All history entries, oldest first (legacy files give one)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict) and "entries" in payload:
+        return list(payload["entries"])
+    if isinstance(payload, dict) and "results" in payload:
+        return [payload]
+    raise ValueError(f"{path} is not a benchmark history file")
+
+
+def metric_direction(name: str) -> str | None:
+    """``"higher"``/``"lower"`` for gated metrics, None for context."""
+    if name == "speedup" or "per_second" in name:
+        return "higher"
+    if name.endswith("seconds"):
+        return "lower"
+    return None
+
+
+def compare(base: dict, new: dict, threshold: float) -> tuple[list[str], int]:
+    """Render the comparison; returns (report lines, exit status)."""
+    lines: list[str] = []
+    status = 0
+    base_host = base.get("machine", {}).get("hostname", "?")
+    new_host = new.get("machine", {}).get("hostname", "?")
+    base_when = base.get("machine", {}).get("timestamp", "?")
+    new_when = new.get("machine", {}).get("timestamp", "?")
+    lines.append(f"base: {base_host} @ {base_when}")
+    lines.append(f"new : {new_host} @ {new_when}")
+    if base_host != new_host:
+        lines.append(
+            "WARNING: entries come from different machines — deltas "
+            "below measure hardware as much as code"
+        )
+    names = sorted(set(base.get("results", {})) | set(new.get("results", {})))
+    for name in names:
+        old_values = base.get("results", {}).get(name)
+        new_values = new.get("results", {}).get(name)
+        if old_values is None or new_values is None:
+            lines.append(f"{name}: only in {'new' if old_values is None else 'base'} entry")
+            continue
+        lines.append(f"{name}:")
+        for key in sorted(set(old_values) | set(new_values)):
+            old, current = old_values.get(key), new_values.get(key)
+            if not isinstance(old, (int, float)) or not isinstance(
+                current, (int, float)
+            ):
+                if old != current:
+                    lines.append(f"  {key:<22}: {old!r} -> {current!r}")
+                continue
+            delta = (current - old) / old if old else 0.0
+            direction = metric_direction(key)
+            verdict = ""
+            if direction is not None and old:
+                worse = -delta if direction == "higher" else delta
+                if worse > threshold:
+                    verdict = f"  REGRESSION (>{100 * threshold:.0f}%)"
+                    status = 1
+                elif worse < -threshold:
+                    verdict = "  improved"
+            lines.append(
+                f"  {key:<22}: {old:g} -> {current:g} "
+                f"({delta:+.1%}){verdict}"
+            )
+    return lines, status
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two entries of the benchmark history; exit "
+        "nonzero on a hot-path regression beyond the threshold."
+    )
+    parser.add_argument(
+        "--file",
+        default=Path(__file__).resolve().parent.parent / "BENCH_cosim.json",
+        type=Path,
+        help="benchmark history file (default: repo-root BENCH_cosim.json)",
+    )
+    parser.add_argument(
+        "--base",
+        type=int,
+        default=-2,
+        help="history index of the baseline entry (default: -2, "
+        "the second-newest)",
+    )
+    parser.add_argument(
+        "--new",
+        dest="new_index",
+        type=int,
+        default=-1,
+        help="history index of the candidate entry (default: -1, newest)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=f"relative regression gate (default: {DEFAULT_THRESHOLD})",
+    )
+    args = parser.parse_args(argv)
+    try:
+        entries = load_entries(args.file)
+    except (OSError, ValueError) as error:
+        print(f"cannot load {args.file}: {error}", file=sys.stderr)
+        return 2
+    if len(entries) < 2 and args.base != args.new_index:
+        print(
+            f"{args.file} holds {len(entries)} entr"
+            f"{'y' if len(entries) == 1 else 'ies'}; need two to compare "
+            "(run the benchmark suite twice)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        base, new = entries[args.base], entries[args.new_index]
+    except IndexError:
+        print(
+            f"history has {len(entries)} entries; indexes {args.base} / "
+            f"{args.new_index} are out of range",
+            file=sys.stderr,
+        )
+        return 2
+    lines, status = compare(base, new, args.threshold)
+    print("\n".join(lines))
+    if status:
+        print(
+            f"\nFAIL: hot-path regression beyond {100 * args.threshold:.0f}%",
+            file=sys.stderr,
+        )
+    return status
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Output truncated by a closed pipe (e.g. `| head`): not an error.
+        raise SystemExit(0)

@@ -29,9 +29,11 @@ from repro.errors import (
     ReproError,
     SweepInterrupted,
     SweepPointError,
+    TelemetryError,
     TraceError,
 )
 from repro.faults import DegradationRecord, FaultInjector, FaultSpec
+from repro.telemetry import MetricRegistry, SpanTracker, WindowStream
 from repro.cache import (
     CacheConfig,
     CacheHierarchy,
@@ -78,8 +80,12 @@ __all__ = [
     "FaultInjectionError",
     "SweepPointError",
     "SweepInterrupted",
+    "TelemetryError",
     "TraceError",
     "CalibrationError",
+    "MetricRegistry",
+    "SpanTracker",
+    "WindowStream",
     "FaultSpec",
     "FaultInjector",
     "DegradationRecord",

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.audit.report import AuditCheck, AuditReport, make_check
 from repro.cache.stats import CacheStats
+from repro.telemetry import runtime as telemetry
 
 #: Fields compared by the CB re-aggregation check.
 _STAT_FIELDS = (
@@ -221,15 +222,22 @@ def run_audit(
             instructions (the simulation-domain side of the FSB sync).
         expected_cycles: the scheduler's raw cycle total.
     """
-    checks: list[AuditCheck] = []
-    checks.extend(_check_conservation(emulator, performance))
-    checks.append(_check_reaggregation(emulator, performance))
-    checks.extend(
-        _check_time_domains(performance, expected_instructions, expected_cycles)
-    )
-    checks.append(_check_window_integration(performance))
-    checks.append(_check_occupancy(emulator))
-    oracle_check = _check_oracle(emulator, performance)
-    if oracle_check is not None:
-        checks.append(oracle_check)
-    return AuditReport(mode=mode, checks=tuple(checks))
+    with telemetry.span("audit"):
+        checks: list[AuditCheck] = []
+        checks.extend(_check_conservation(emulator, performance))
+        checks.append(_check_reaggregation(emulator, performance))
+        checks.extend(
+            _check_time_domains(performance, expected_instructions, expected_cycles)
+        )
+        checks.append(_check_window_integration(performance))
+        checks.append(_check_occupancy(emulator))
+        oracle_check = _check_oracle(emulator, performance)
+        if oracle_check is not None:
+            checks.append(oracle_check)
+        report = AuditReport(mode=mode, checks=tuple(checks))
+        telemetry.counter("repro_audit_passes_total").inc()
+        telemetry.counter("repro_audit_checks_total").inc(len(report.checks))
+        telemetry.counter("repro_audit_violations_total").inc(
+            len(report.violations)
+        )
+        return report

@@ -36,6 +36,7 @@ from repro.faults.report import RECOVERED, DegradationRecord, records_from_count
 from repro.protocol import Message, MessageCodec, MessageKind
 from repro.cache.sampling import WindowSample, WindowSampler
 from repro.errors import ConfigurationError, ProtocolError, RecoverableProtocolError
+from repro.telemetry import runtime as telemetry
 from repro.trace.record import AccessKind, TraceChunk
 from repro.units import (
     DRAGONHEAD_MAX_CACHE,
@@ -290,12 +291,27 @@ class DragonheadEmulator:
         self.banks = [
             SetAssociativeCache(config.bank_config(bank)) for bank in range(NUM_BANKS)
         ]
-        self.sampler = WindowSampler(
-            frequency_hz=config.frequency_hz,
-            interval_us=config.host_read_interval_us,
-            interpolate=not self.strict,
-        )
+        self.sampler = self._new_sampler()
         self._line_shift = config.line_size.bit_length() - 1
+
+    def _new_sampler(self) -> WindowSampler:
+        """A fresh CB sampler, tapped into the live window stream.
+
+        With telemetry off the tap is None and the sampler behaves as an
+        untapped one; with it on, every closed 500 µs window publishes
+        into the registry under this emulator's geometry label — the
+        software analog of the host's periodic CB read.
+        """
+        return WindowSampler(
+            frequency_hz=self.config.frequency_hz,
+            interval_us=self.config.host_read_interval_us,
+            interpolate=not self.strict,
+            on_sample=telemetry.window_publisher(
+                f"{format_size(self.config.cache_size)}/{self.config.line_size}B",
+                self.config.line_size,
+                self.config.frequency_hz,
+            ),
+        )
 
     # -- snooping -------------------------------------------------------
 
@@ -449,11 +465,7 @@ class DragonheadEmulator:
         """
         for bank in self.banks:
             bank.reset_stats()
-        self.sampler = WindowSampler(
-            frequency_hz=self.config.frequency_hz,
-            interval_us=self.config.host_read_interval_us,
-            interpolate=not self.strict,
-        )
+        self.sampler = self._new_sampler()
 
     def reconfigure(self, config: DragonheadConfig) -> None:
         """Reprogram the FPGAs with a new cache configuration.

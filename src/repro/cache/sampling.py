@@ -64,15 +64,31 @@ class WindowSampler:
         frequency_hz: float = 100e6,
         interval_us: float = 500.0,
         interpolate: bool = False,
+        on_sample=None,
     ) -> None:
         self.cycles_per_window = max(1, int(frequency_hz * interval_us * 1e-6))
         self.interpolate = interpolate
         self.interpolated_windows = 0
         self.samples: list[WindowSample] = []
+        #: Live-stream hook: called with each closed window's sample,
+        #: the same object appended to :attr:`samples` — the software CB
+        #: host-pull.  None (the default) costs one test per window.
+        self.on_sample = on_sample
         self._last_stats = CacheStats()
         self._last_instructions = 0
         self._last_cycles = 0
         self._next_boundary = self.cycles_per_window
+
+    def _emit(self, sample: WindowSample) -> None:
+        """Close one window: accumulate it, then publish it if tapped.
+
+        Every append site routes through here, so a live subscriber sees
+        exactly the series :attr:`samples` accumulates — the final
+        partial window from :meth:`finalize` included.
+        """
+        self.samples.append(sample)
+        if self.on_sample is not None:
+            self.on_sample(sample)
 
     # -- checkpointing ------------------------------------------------------
 
@@ -134,7 +150,7 @@ class WindowSampler:
             return
         while cycles_completed >= self._next_boundary:
             delta = stats.delta(self._last_stats)
-            self.samples.append(
+            self._emit(
                 WindowSample(
                     index=len(self.samples),
                     cycles=self._next_boundary - self._last_cycles,
@@ -165,7 +181,7 @@ class WindowSampler:
             return total // windows + (1 if index < total % windows else 0)
 
         for i in range(windows):
-            self.samples.append(
+            self._emit(
                 WindowSample(
                     index=len(self.samples),
                     cycles=self._next_boundary - self._last_cycles,
@@ -184,7 +200,7 @@ class WindowSampler:
         """Emit a final partial window at end of run, if non-empty."""
         delta = stats.delta(self._last_stats)
         if delta.accesses or instructions_retired > self._last_instructions:
-            self.samples.append(
+            self._emit(
                 WindowSample(
                     index=len(self.samples),
                     cycles=cycles_completed - self._last_cycles,

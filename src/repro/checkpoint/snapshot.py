@@ -26,6 +26,7 @@ import threading
 import zlib
 
 from repro.errors import CheckpointError
+from repro.telemetry import runtime as telemetry
 
 MAGIC = b"RPCK"
 SNAPSHOT_VERSION = 1
@@ -42,35 +43,38 @@ def write_snapshot(path: str, state: dict, identity: dict) -> None:
         identity: what run this snapshot belongs to (workload name,
             cores, config, mode...); verified on resume.
     """
-    payload = pickle.dumps(
-        {"identity": identity, "state": state}, protocol=pickle.HIGHEST_PROTOCOL
-    )
-    header = json.dumps(
-        {
-            "version": SNAPSHOT_VERSION,
-            "crc32": zlib.crc32(payload),
-            "length": len(payload),
-        },
-        sort_keys=True,
-    ).encode("utf-8")
-    tmp = f"{path}.tmp.{os.getpid()}"
-    try:
-        with open(tmp, "wb") as handle:
-            handle.write(MAGIC)
-            handle.write(len(header).to_bytes(_HEADER_LEN_BYTES, "big"))
-            handle.write(header)
-            handle.write(payload)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        # A checkpoint interrupted mid-write (including KeyboardInterrupt)
-        # must not leave a tmp file to be mistaken for progress.
+    with telemetry.span("checkpoint.write"):
+        payload = pickle.dumps(
+            {"identity": identity, "state": state}, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        header = json.dumps(
+            {
+                "version": SNAPSHOT_VERSION,
+                "crc32": zlib.crc32(payload),
+                "length": len(payload),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        tmp = f"{path}.tmp.{os.getpid()}"
         try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+            with open(tmp, "wb") as handle:
+                handle.write(MAGIC)
+                handle.write(len(header).to_bytes(_HEADER_LEN_BYTES, "big"))
+                handle.write(header)
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            # A checkpoint interrupted mid-write (including KeyboardInterrupt)
+            # must not leave a tmp file to be mistaken for progress.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        telemetry.counter("repro_checkpoints_written_total").inc()
+        telemetry.counter("repro_checkpoint_bytes_total").inc(len(payload))
 
 
 def read_snapshot(path: str, expect_identity: dict | None = None) -> dict:

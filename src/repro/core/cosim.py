@@ -34,8 +34,9 @@ from repro.core.fsb import FrontSideBus
 from repro.cache.sampling import WindowSample
 from repro.core.softsdv import GuestWorkload, SoftSDV
 from repro.errors import AuditError, CheckpointError
-from repro.faults.report import DegradationRecord, merge_records
+from repro.faults.report import DegradationRecord, collect_run_degradation, merge_records
 from repro.faults.spec import FaultSpec
+from repro.telemetry import runtime as telemetry
 
 
 @dataclass(frozen=True)
@@ -201,7 +202,7 @@ class CoSimPlatform:
             )
         else:
             guard = contextlib.nullcontext()
-        with guard as interrupt:
+        with guard as interrupt, telemetry.span("cosim"):
             if checkpointing:
                 last_snapshot = scheduler.transactions_issued
 
@@ -231,8 +232,7 @@ class CoSimPlatform:
         if self.injector is not None:
             self.injector.flush()
         performance = self.emulator.read_performance_data()
-        injected = self.injector.records if self.injector is not None else ()
-        degradation = merge_records(injected, performance.degradation)
+        degradation = collect_run_degradation(self.injector, performance)
         audit_report: AuditReport | None = None
         if audit_mode != AUDIT_OFF:
             audit_report = run_audit(

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.fsb import FrontSideBus, FSBTransaction
 from repro.protocol import Message, MessageCodec, MessageKind
 from repro.errors import CheckpointError, ConfigurationError
+from repro.telemetry import runtime as telemetry
 from repro.trace.record import AccessKind, TraceChunk
 from repro.trace.stream import StreamCursor, TraceStream
 
@@ -153,7 +154,11 @@ class DEXScheduler:
         cursors = self._cursors
         assert cursors is not None
         by_id = {core.core_id: core for core in self.cores}
+        rounds = 0
+        slices_before = self.slices_executed
+        transactions_before = self.transactions_issued
         while self._active:
+            rounds += 1
             still_active: list[int] = []
             for core_id in self._active:
                 piece = cursors[core_id].take(self.quantum)
@@ -178,6 +183,16 @@ class DEXScheduler:
                 on_round(self)
         self._send(Message(MessageKind.STOP_EMULATION))
         self._issue_noise()
+        if telemetry.enabled():
+            # Totals published once per run, outside the slice loop, so
+            # the instrumented path adds nothing to the per-slice cost.
+            telemetry.counter("repro_dex_rounds_total").inc(rounds)
+            telemetry.counter("repro_dex_slices_total").inc(
+                self.slices_executed - slices_before
+            )
+            telemetry.counter("repro_dex_transactions_total").inc(
+                self.transactions_issued - transactions_before
+            )
 
     # -- checkpointing ---------------------------------------------------------
 

@@ -127,5 +127,15 @@ class TraceError(ReproError):
     """A memory trace was malformed or streams could not be combined."""
 
 
+class TelemetryError(ReproError):
+    """The telemetry subsystem was misused or misconfigured.
+
+    Raised when a metric name is re-registered under a different type,
+    a counter is decremented, or a sink file cannot be written.  Never
+    raised from the disabled path — with telemetry off every telemetry
+    entry point is a no-op by construction.
+    """
+
+
 class CalibrationError(ReproError):
     """A workload memory model could not satisfy its calibration targets."""

@@ -37,6 +37,9 @@ from repro.faults.spec import parse_fault_spec
 from repro.harness.replay import log_cache_key, replay_sweep
 from repro.harness.report import render_audit_report, render_degradation_report
 from repro.harness.supervisor import SupervisorPolicy, SweepJournal, supervise
+from repro.telemetry import profile as profiling
+from repro.telemetry import runtime as telemetry
+from repro.telemetry.sinks import write_prometheus
 from repro.trace.cache import resolve_trace_cache
 from repro.units import format_size, parse_size
 from repro.workloads.profiles import WORKLOAD_NAMES
@@ -168,12 +171,58 @@ def build_parser() -> argparse.ArgumentParser:
         "(injected faults, recovered anomalies, or lenient-mode audit "
         "violations)",
     )
+    parser.add_argument(
+        "--telemetry",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="EVENTS.jsonl",
+        help="enable the telemetry subsystem (spans, metric registry, "
+        "live 500µs-window stream); with a path, also log every metric "
+        "and span to EVENTS.jsonl.  Off by default — telemetry-off runs "
+        "are byte-identical to builds without the subsystem",
+    )
+    parser.add_argument(
+        "--metrics-file",
+        metavar="FILE",
+        default=None,
+        help="write the final registry state to FILE in Prometheus text "
+        "exposition format (atomic replace; implies --telemetry)",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="FILE",
+        help="print the end-of-run profile (per-phase wall time, "
+        "accesses/sec, trace-cache hit rate, supervisor events); with a "
+        "path, also write it as JSON (implies --telemetry)",
+    )
     return parser
+
+
+def telemetry_requested(args: argparse.Namespace) -> bool:
+    """Whether any of the three telemetry flags turns the subsystem on."""
+    return bool(args.telemetry) or bool(args.metrics_file) or bool(args.profile)
 
 
 def main(argv: list[str] | None = None) -> int:
     """Run one co-simulation (or a cache-size sweep) and print its readout."""
     args = build_parser().parse_args(argv)
+    if telemetry_requested(args):
+        telemetry.configure(
+            events_path=args.telemetry if isinstance(args.telemetry, str) else None
+        )
+    try:
+        return _main(args)
+    finally:
+        if telemetry_requested(args):
+            telemetry.shutdown()
+
+
+def _main(args: argparse.Namespace) -> int:
+    """The run itself, with telemetry configured (or left disabled)."""
     workload = get_workload(args.workload)
     sizes = [parse_size(token) for token in args.cache.split(",") if token.strip()]
     configs = [
@@ -210,98 +259,137 @@ def main(argv: list[str] | None = None) -> int:
     audit_mode = resolve_audit_mode(args.audit)
     policy = SupervisorPolicy(timeout=args.timeout, retries=args.retries)
     journal = SweepJournal(args.journal, resume=args.resume) if args.journal else None
-    try:
-        with supervise(
-            policy,
-            journal=journal,
-            fault_spec=fault_spec,
-            checkpoint_dir=args.checkpoint_dir,
-        ) as ctx:
-            results = replay_sweep(
-                guest,
-                args.cores,
-                configs,
-                quantum=args.quantum,
-                jobs=args.jobs,
-                trace_cache=trace_cache,
-                key_extra=key_extra,
-                spec=fault_spec,
-                lenient=args.lenient,
-                audit=audit_mode,
-            )
-    except SweepInterrupted as interrupted:
-        print(f"interrupted: {interrupted}")
-        return 130
-    except AuditError as error:
-        # Strict mode: a violated invariant is a wrong answer, not a
-        # statistic — print what broke and fail loudly.
-        print(f"audit failed: {error}")
-        print(error.report.describe())
-        return 3
-    except SweepPointError as error:
-        # The supervisor wraps worker errors; an audit failure is
-        # deterministic, so retries cannot save it — unwrap and report.
-        if isinstance(error.cause, AuditError):
-            print(f"audit failed on point {error.point!r}: {error.cause}")
-            print(error.cause.report.describe())
-            return 3
-        raise
-    finally:
-        if journal is not None:
-            journal.close()
-
-    print(f"{workload.name} on {args.cores} cores — {workload.description}")
-    if len(results) == 1:
-        result, config = results[0], configs[0]
-        print(f"Dragonhead: {format_size(config.cache_size)}, {config.line_size}B lines")
-        print(f"  instructions retired : {result.instructions:,}")
-        print(f"  LLC accesses         : {result.accesses:,}")
-        print(f"  LLC misses           : {result.llc_stats.misses:,}")
-        print(f"  LLC MPKI             : {result.mpki:.3f}")
-        print(f"  miss ratio           : {result.llc_stats.miss_ratio:.4f}")
-        print(f"  filtered transactions: {result.filtered:,}")
-        print(f"  sampled windows      : {len(result.samples)}")
-        if args.phases:
-            print("\nPhase analysis (stable-MPKI segments):")
-            for phase, representative in phase_summary(result.samples):
-                print(
-                    f"  phase {phase.index}: windows "
-                    f"[{phase.start_window}, {phase.end_window}) "
-                    f"mean MPKI {phase.mean_mpki:.2f}, "
-                    f"representative window {representative}"
+    with telemetry.span("run"):
+        try:
+            with supervise(
+                policy,
+                journal=journal,
+                fault_spec=fault_spec,
+                checkpoint_dir=args.checkpoint_dir,
+            ) as ctx:
+                results = replay_sweep(
+                    guest,
+                    args.cores,
+                    configs,
+                    quantum=args.quantum,
+                    jobs=args.jobs,
+                    trace_cache=trace_cache,
+                    key_extra=key_extra,
+                    spec=fault_spec,
+                    lenient=args.lenient,
+                    audit=audit_mode,
                 )
-    else:
-        print(
-            f"Cache-size sweep ({len(results)} configurations, "
-            f"{args.line}B lines, one captured trace):"
-        )
-        print(f"  {'LLC size':>10}  {'misses':>10}  {'LLC MPKI':>9}  {'miss ratio':>10}")
-        for config, result in zip(configs, results):
+        except SweepInterrupted as interrupted:
+            print(f"interrupted: {interrupted}")
+            return 130
+        except AuditError as error:
+            # Strict mode: a violated invariant is a wrong answer, not a
+            # statistic — print what broke and fail loudly.
+            print(f"audit failed: {error}")
+            print(error.report.describe())
+            return 3
+        except SweepPointError as error:
+            # The supervisor wraps worker errors; an audit failure is
+            # deterministic, so retries cannot save it — unwrap and report.
+            if isinstance(error.cause, AuditError):
+                print(f"audit failed on point {error.point!r}: {error.cause}")
+                print(error.cause.report.describe())
+                return 3
+            raise
+        finally:
+            if journal is not None:
+                journal.close()
+        exit_code = _report(args, workload, configs, results, trace_cache, audit_mode, fault_spec, ctx)
+    _emit_telemetry(args, results)
+    return exit_code
+
+
+def _report(
+    args, workload, configs, results, trace_cache, audit_mode, fault_spec, ctx
+) -> int:
+    """Print the run readout; returns the process exit code."""
+    with telemetry.span("report"):
+        if telemetry.enabled():
+            # Workers do not share this registry: result aggregates and
+            # degradation counters are published here, parent-side.
+            profiling.publish_results(telemetry.registry(), results)
+        print(f"{workload.name} on {args.cores} cores — {workload.description}")
+        if len(results) == 1:
+            result, config = results[0], configs[0]
+            print(f"Dragonhead: {format_size(config.cache_size)}, {config.line_size}B lines")
+            print(f"  instructions retired : {result.instructions:,}")
+            print(f"  LLC accesses         : {result.accesses:,}")
+            print(f"  LLC misses           : {result.llc_stats.misses:,}")
+            print(f"  LLC MPKI             : {result.mpki:.3f}")
+            print(f"  miss ratio           : {result.llc_stats.miss_ratio:.4f}")
+            print(f"  filtered transactions: {result.filtered:,}")
+            print(f"  sampled windows      : {len(result.samples)}")
+            if args.phases:
+                print("\nPhase analysis (stable-MPKI segments):")
+                for phase, representative in phase_summary(result.samples):
+                    print(
+                        f"  phase {phase.index}: windows "
+                        f"[{phase.start_window}, {phase.end_window}) "
+                        f"mean MPKI {phase.mean_mpki:.2f}, "
+                        f"representative window {representative}"
+                    )
+        else:
             print(
-                f"  {format_size(config.cache_size):>10}"
-                f"  {result.llc_stats.misses:>10,}"
-                f"  {result.mpki:>9.3f}"
-                f"  {result.llc_stats.miss_ratio:>10.4f}"
+                f"Cache-size sweep ({len(results)} configurations, "
+                f"{args.line}B lines, one captured trace):"
             )
-    if trace_cache is not None:
-        print(f"  trace cache          : {trace_cache.stats.describe()} ({trace_cache.root})")
-    if audit_mode != AUDIT_OFF:
+            print(f"  {'LLC size':>10}  {'misses':>10}  {'LLC MPKI':>9}  {'miss ratio':>10}")
+            for config, result in zip(configs, results):
+                print(
+                    f"  {format_size(config.cache_size):>10}"
+                    f"  {result.llc_stats.misses:>10,}"
+                    f"  {result.mpki:>9.3f}"
+                    f"  {result.llc_stats.miss_ratio:>10.4f}"
+                )
+        if trace_cache is not None:
+            print(f"  trace cache          : {trace_cache.stats.describe()} ({trace_cache.root})")
+        if audit_mode != AUDIT_OFF:
+            print()
+            print(render_audit_report(results))
+        if fault_spec is not None or args.lenient:
+            if telemetry.enabled():
+                # Satellite of the same counters publish_results wrote:
+                # one counting path, same byte-identical report ordering.
+                merged = profiling.registry_degradation_records(telemetry.registry())
+            else:
+                merged = merge_records(*(result.degradation for result in results))
+            print()
+            print(render_degradation_report(merged))
+        if ctx.counts:
+            # Noteworthy only: empty on a clean un-resumed run, so the
+            # byte-identical serial-vs-parallel contract is undisturbed.
+            print(f"supervisor events: {ctx.describe()}")
+        if args.fail_on_degraded and any(
+            result is not None and result.degraded for result in results
+        ):
+            print("failing: degradation records present (--fail-on-degraded)")
+            return 4
+        return 0
+
+
+def _emit_telemetry(args, results) -> None:
+    """Write the metrics file and the profile, after the root span closed.
+
+    Ordered after the ``run`` span closes so the profile's phase-coverage
+    check sees the final root wall time; everything here is gated on the
+    subsystem being enabled, preserving telemetry-off byte-identity.
+    """
+    if not telemetry.enabled():
+        return
+    registry = telemetry.registry()
+    if args.profile:
+        profile = profiling.build_profile(results, telemetry.tracker(), registry)
         print()
-        print(render_audit_report(results))
-    if fault_spec is not None or args.lenient:
-        merged = merge_records(*(result.degradation for result in results))
-        print()
-        print(render_degradation_report(merged))
-    if ctx.counts:
-        # Noteworthy only: empty on a clean un-resumed run, so the
-        # byte-identical serial-vs-parallel contract is undisturbed.
-        print(f"supervisor events: {ctx.describe()}")
-    if args.fail_on_degraded and any(
-        result is not None and result.degraded for result in results
-    ):
-        print("failing: degradation records present (--fail-on-degraded)")
-        return 4
-    return 0
+        print(profiling.render_profile(profile))
+        if isinstance(args.profile, str):
+            profiling.write_profile(profile, args.profile)
+    if args.metrics_file:
+        write_prometheus(registry, args.metrics_file)
 
 
 if __name__ == "__main__":

@@ -53,8 +53,9 @@ from repro.core.cosim import CoSimResult
 from repro.core.fsb import FrontSideBus, FSBTransaction
 from repro.core.softsdv import GuestWorkload, SoftSDV
 from repro.errors import AuditError, CheckpointError, TraceError
-from repro.faults.report import merge_records
+from repro.faults.report import collect_run_degradation, merge_records
 from repro.faults.spec import FaultSpec
+from repro.telemetry import runtime as telemetry
 from repro.protocol import Message, MessageCodec, MessageKind
 from repro.trace.cache import TraceCache, cache_key, load_validated_entry
 from repro.trace.record import AccessKind, TraceChunk
@@ -479,7 +480,8 @@ def replay(
         )
     else:
         guard = contextlib.nullcontext()
-    with guard as interrupt:
+    with guard as interrupt, telemetry.span("replay.point"):
+        telemetry.counter("repro_replay_points_total").inc()
         if checkpointing:
             last_snapshot = (
                 0 if resume_position is None else int(resume_position["start"])
@@ -503,8 +505,7 @@ def replay(
     if injector is not None:
         injector.flush()
     performance = emulator.read_performance_data()
-    injected = injector.records if injector is not None else ()
-    degradation = merge_records(injected, performance.degradation)
+    degradation = collect_run_degradation(injector, performance)
     audit_report = None
     if audit_mode != AUDIT_OFF:
         audit_report = run_audit(
@@ -582,20 +583,21 @@ def load_or_capture(
     called — generation is skipped entirely, observable through the
     cache's ``stats.hits`` counter.
     """
-    if trace_cache is None:
-        return (
-            capture_replay_log(workload, cores, quantum, boot_noise_accesses),
-            None,
+    with telemetry.span("capture"):
+        if trace_cache is None:
+            return (
+                capture_replay_log(workload, cores, quantum, boot_noise_accesses),
+                None,
+            )
+        key = log_cache_key(
+            workload.name, cores, quantum, boot_noise_accesses, key_extra
         )
-    key = log_cache_key(
-        workload.name, cores, quantum, boot_noise_accesses, key_extra
-    )
-    payload = trace_cache.load(key)
-    if payload is not None:
-        return ReplayLog.from_payload(*payload), str(trace_cache.entry_dir(key))
-    log = capture_replay_log(workload, cores, quantum, boot_noise_accesses)
-    entry = trace_cache.store(key, *log.to_payload())
-    return log, str(entry)
+        payload = trace_cache.load(key)
+        if payload is not None:
+            return ReplayLog.from_payload(*payload), str(trace_cache.entry_dir(key))
+        log = capture_replay_log(workload, cores, quantum, boot_noise_accesses)
+        entry = trace_cache.store(key, *log.to_payload())
+        return log, str(entry)
 
 
 # -- multi-config fan-out ---------------------------------------------
@@ -676,24 +678,28 @@ def replay_map(
     audit_mode = resolve_audit_mode(audit)
     from repro.harness.supervisor import active_context
 
-    # With no supervisor installed, a serial sweep skips the map
-    # machinery entirely; under supervision even a serial sweep routes
-    # through the supervised map so journaling and retries apply.
-    if active_context() is None and (resolve_jobs(jobs) <= 1 or len(configs) < 2):
-        return [
-            replay(log, config, spec=spec, lenient=lenient, audit=audit_mode)
-            for config in configs
-        ]
-    handle = (
-        _LogHandle(entry_dir=entry_dir)
-        if entry_dir is not None
-        else _LogHandle(log=log)
-    )
-    return parallel_map(
-        _replay_task,
-        [(handle, config, spec, lenient, audit_mode) for config in configs],
-        jobs=jobs,
-    )
+    with telemetry.span("replay"):
+        # With no supervisor installed, a serial sweep skips the map
+        # machinery entirely; under supervision even a serial sweep
+        # routes through the supervised map so journaling and retries
+        # apply.
+        if active_context() is None and (
+            resolve_jobs(jobs) <= 1 or len(configs) < 2
+        ):
+            return [
+                replay(log, config, spec=spec, lenient=lenient, audit=audit_mode)
+                for config in configs
+            ]
+        handle = (
+            _LogHandle(entry_dir=entry_dir)
+            if entry_dir is not None
+            else _LogHandle(log=log)
+        )
+        return parallel_map(
+            _replay_task,
+            [(handle, config, spec, lenient, audit_mode) for config in configs],
+            jobs=jobs,
+        )
 
 
 def replay_sweep(

@@ -42,6 +42,9 @@ from repro.harness import (
     table2,
 )
 from repro.harness.supervisor import SupervisorPolicy, SweepJournal, supervise
+from repro.telemetry import profile as profiling
+from repro.telemetry import runtime as telemetry
+from repro.telemetry.sinks import write_prometheus
 
 PAPER_EXHIBITS = (table1, table2, fig4, fig5, fig6, fig7, fig8)
 EXTENDED_EXHIBITS = (projection, ablations, bandwidth_study)
@@ -145,7 +148,49 @@ def main(argv: list[str] | None = None) -> int:
         help="exit nonzero if any exhibit or sweep point degraded "
         "instead of completing cleanly",
     )
+    parser.add_argument(
+        "--telemetry",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="EVENTS.jsonl",
+        help="enable the telemetry subsystem; with a path, also log "
+        "every metric and span to EVENTS.jsonl (off by default — "
+        "telemetry-off output is byte-identical)",
+    )
+    parser.add_argument(
+        "--metrics-file",
+        metavar="FILE",
+        default=None,
+        help="write the final registry state to FILE in Prometheus "
+        "text exposition format (implies --telemetry)",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="FILE",
+        help="print the end-of-run profile (per-exhibit wall time); "
+        "with a path, also write it as JSON (implies --telemetry)",
+    )
     args = parser.parse_args(argv)
+    telemetry_on = (
+        bool(args.telemetry) or bool(args.metrics_file) or bool(args.profile)
+    )
+    if telemetry_on:
+        telemetry.configure(
+            events_path=args.telemetry if isinstance(args.telemetry, str) else None
+        )
+    try:
+        return _run(args)
+    finally:
+        if telemetry_on:
+            telemetry.shutdown()
+
+
+def _run(args: argparse.Namespace) -> int:
+    """The evaluation itself, with telemetry configured (or disabled)."""
     from repro.trace.cache import resolve_trace_cache
 
     trace_cache = resolve_trace_cache(args.trace_cache)
@@ -163,13 +208,14 @@ def main(argv: list[str] | None = None) -> int:
         # included, without touching their signatures.
         os.environ[AUDIT_ENV] = args.audit
     try:
-        with supervise(
+        with telemetry.span("run"), supervise(
             policy,
             journal=journal,
             fault_spec=fault_spec,
             checkpoint_dir=args.checkpoint_dir,
         ) as context:
             for exhibit in exhibits:
+                name = exhibit.__name__.rsplit(".", 1)[-1]
                 kwargs: dict[str, object] = {"jobs": args.jobs}
                 # Exact-path exhibits accept the trace cache; the
                 # closed-form model exhibits have nothing to cache and
@@ -177,11 +223,11 @@ def main(argv: list[str] | None = None) -> int:
                 if "trace_cache" in inspect.signature(exhibit.main).parameters:
                     kwargs["trace_cache"] = trace_cache
                 try:
-                    exhibit.main(**kwargs)
+                    with telemetry.span(name):
+                        exhibit.main(**kwargs)
                 except SweepPointError as error:
                     if not args.lenient:
                         raise
-                    name = exhibit.__name__.rsplit(".", 1)[-1]
                     degraded.append(name)
                     print(f"[degraded] exhibit {name} skipped: {error}")
                 print()
@@ -200,12 +246,34 @@ def main(argv: list[str] | None = None) -> int:
 
         for path in export_all(args.csv):
             print(f"wrote {path}")
+    _emit_telemetry(args)
     if args.fail_on_degraded and (
         degraded or context.counts.get("point-degraded")
     ):
         print("failing: degraded exhibits or points present (--fail-on-degraded)")
         return 4
     return 0
+
+
+def _emit_telemetry(args: argparse.Namespace) -> None:
+    """Profile + metrics file, after the root span has closed.
+
+    ``repro-runall``'s exhibits print their own tables rather than
+    returning result objects, so the profile's result list is empty:
+    its value here is the per-exhibit wall-time breakdown and the
+    registry dump, not result reconciliation.
+    """
+    if not telemetry.enabled():
+        return
+    registry = telemetry.registry()
+    if args.profile:
+        profile = profiling.build_profile([], telemetry.tracker(), registry)
+        print()
+        print(profiling.render_profile(profile))
+        if isinstance(args.profile, str):
+            profiling.write_profile(profile, args.profile)
+    if args.metrics_file:
+        write_prometheus(registry, args.metrics_file)
 
 
 if __name__ == "__main__":

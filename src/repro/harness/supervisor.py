@@ -60,13 +60,16 @@ from repro.errors import (
 )
 from repro.faults.spec import FaultSpec
 from repro.harness.parallel import resolve_jobs
+from repro.telemetry import runtime as telemetry
 
 #: Journal schema version (header line of every journal file).  v2
-#: stamps every *entry* with a ``schema`` field as well, so a single
-#: line pasted out of context still identifies its format; resuming a
-#: journal with a missing or unknown version is a hard error, never a
-#: silent reinterpretation of old bytes.
-JOURNAL_FORMAT = 2
+#: stamped every *entry* with a ``schema`` field as well, so a single
+#: line pasted out of context still identifies its format; v3 adds
+#: per-entry ``wall_time_s`` and ``attempts`` so a resumed or post-hoc
+#: analysis can see what each point cost without re-running it.
+#: Resuming a journal with a missing or unknown version is a hard
+#: error, never a silent reinterpretation of old bytes.
+JOURNAL_FORMAT = 3
 
 _UNSET = object()
 
@@ -114,6 +117,10 @@ class SweepJournal:
     def __init__(self, path: str | os.PathLike, resume: bool = False) -> None:
         self.path = Path(path)
         self.entries: dict[str, Any] = {}
+        #: Per-key cost metadata (``wall_time_s``, ``attempts``) for
+        #: entries loaded on resume — kept out of ``entries`` so result
+        #: payloads stay exactly what the task returned.
+        self.meta: dict[str, dict] = {}
         if resume and self.path.exists():
             self._load()
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -146,6 +153,10 @@ class SweepJournal:
                         self.entries[row["key"]] = pickle.loads(
                             base64.b85decode(row["result"])
                         )
+                        self.meta[row["key"]] = {
+                            "wall_time_s": row.get("wall_time_s"),
+                            "attempts": row.get("attempts", 1),
+                        }
                 except (ValueError, KeyError, pickle.UnpicklingError, EOFError):
                     continue  # torn tail line from a crash: skip it
 
@@ -186,12 +197,30 @@ class SweepJournal:
     def get(self, key: str) -> Any:
         return self.entries[key]
 
-    def record(self, key: str, result: Any) -> None:
-        """Checkpoint one completed point (idempotent per key)."""
+    def record(
+        self,
+        key: str,
+        result: Any,
+        wall_time_s: float | None = None,
+        attempts: int = 1,
+    ) -> None:
+        """Checkpoint one completed point (idempotent per key).
+
+        ``wall_time_s`` and ``attempts`` record what the point cost
+        (v3 fields); they are metadata only and never affect what a
+        resume returns for the key.
+        """
         self.entries[key] = result
+        self.meta[key] = {"wall_time_s": wall_time_s, "attempts": attempts}
         encoded = base64.b85encode(pickle.dumps(result, protocol=4)).decode("ascii")
         self._write_line(
-            {"schema": JOURNAL_FORMAT, "key": key, "result": encoded}
+            {
+                "schema": JOURNAL_FORMAT,
+                "key": key,
+                "result": encoded,
+                "wall_time_s": wall_time_s,
+                "attempts": attempts,
+            }
         )
 
     def close(self) -> None:
@@ -225,14 +254,38 @@ class SupervisorContext:
     counts: dict[str, int] = field(default_factory=dict)
     completed: int = 0
     total: int = 0
+    #: When this sweep's supervision began (monotonic); the base of the
+    #: progress line's rate and ETA estimates.
+    started: float = field(default_factory=time.monotonic)
 
     def count(self, kind: str, n: int = 1) -> None:
         if n:
             self.counts[kind] = self.counts.get(kind, 0) + n
+            telemetry.counter("repro_supervisor_events_total", event=kind).inc(n)
 
     def describe(self) -> str:
         """One-line event summary (empty when nothing noteworthy happened)."""
         return " ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+
+    def progress(self) -> None:
+        """Emit one progress/ETA line to stderr (telemetry runs only).
+
+        Byte-identity of telemetry-off runs is preserved twice over:
+        nothing prints unless telemetry is enabled, and even then the
+        line goes to stderr, which the CI smoke diffs never capture.
+        """
+        if not telemetry.enabled() or self.total <= 0:
+            return
+        elapsed = time.monotonic() - self.started
+        rate = self.completed / elapsed if elapsed > 0 else 0.0
+        remaining = self.total - self.completed
+        eta = remaining / rate if rate > 0 else float("inf")
+        print(
+            f"sweep progress: {self.completed}/{self.total} points "
+            f"({100.0 * self.completed / self.total:.0f}%), "
+            f"elapsed {elapsed:.1f}s, ETA {eta:.1f}s",
+            file=sys.stderr,
+        )
 
 
 _ACTIVE: SupervisorContext | None = None
@@ -313,6 +366,10 @@ class _Flight:
 
     index: int
     deadline: float | None
+    #: Submission time (monotonic); the journal's ``wall_time_s`` for a
+    #: pooled point is measured from here, so it includes queue-to-start
+    #: latency inside the worker but not backoff waits between attempts.
+    submitted: float = 0.0
 
 
 def _terminate(executor: ProcessPoolExecutor) -> None:
@@ -410,11 +467,18 @@ def _finish(
     results: list,
     index: int,
     value: Any,
+    wall_time_s: float | None = None,
+    attempts: int = 1,
 ) -> None:
     results[index] = value
     context.completed += 1
+    if wall_time_s is not None:
+        telemetry.histogram("repro_sweep_point_seconds").observe(wall_time_s)
     if context.journal is not None:
-        context.journal.record(keys[index], value)
+        context.journal.record(
+            keys[index], value, wall_time_s=wall_time_s, attempts=attempts
+        )
+    context.progress()
 
 
 def _fail(
@@ -430,7 +494,9 @@ def _fail(
     """A point exhausted its retries: degrade or raise."""
     if policy.degrades:
         context.count("point-degraded")
-        _finish(context, keys, results, index, policy.failure_value)
+        _finish(
+            context, keys, results, index, policy.failure_value, attempts=attempts
+        )
         return
     raise SweepPointError(item, cause, attempts=attempts) from cause
 
@@ -465,12 +531,22 @@ def _run_serial(
                     raise FaultInjectionError("injected worker crash (serial mode)")
                 if fault == "hang":
                     time.sleep(context.fault_spec.hang_seconds)
+                begin = time.perf_counter()
                 value = (
                     task(work[i], checkpoint_path=ckpt_paths[i])
                     if ckpt_paths[i] is not None
                     else task(work[i])
                 )
-                _finish(context, keys, results, i, value)
+                wall = time.perf_counter() - begin
+                _finish(
+                    context,
+                    keys,
+                    results,
+                    i,
+                    value,
+                    wall_time_s=wall,
+                    attempts=attempt + 1,
+                )
                 break
             except KeyboardInterrupt:
                 _drain_report(context, results)
@@ -528,7 +604,9 @@ def _run_pool(
                 ckpt_paths[index],
             )
             deadline = now + policy.timeout if policy.timeout else None
-            inflight[future] = _Flight(index=index, deadline=deadline)
+            inflight[future] = _Flight(
+                index=index, deadline=deadline, submitted=time.monotonic()
+            )
 
     def requeue(index: int, *, delay: float = 0.0) -> None:
         queue.append((index, time.monotonic() + delay))
@@ -576,7 +654,15 @@ def _run_pool(
                 except Exception as error:
                     on_failure(flight.index, error, "point-retry")
                 else:
-                    _finish(context, keys, results, flight.index, value)
+                    _finish(
+                        context,
+                        keys,
+                        results,
+                        flight.index,
+                        value,
+                        wall_time_s=time.monotonic() - flight.submitted,
+                        attempts=attempts[flight.index] + 1,
+                    )
             if broken:
                 # The pool is unusable; survivors were not at fault —
                 # re-run them without charging an attempt.

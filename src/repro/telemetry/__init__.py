@@ -1,0 +1,99 @@
+"""Telemetry: spans, metrics, live window streaming, run profiles.
+
+The observability subsystem for the whole co-simulation stack.  The
+hardware platform was observable by construction — the CB FPGA
+aggregated counters and a host polled it every 500 µs; SoftSDV logged
+its DEX scheduling — and this package gives the software reproduction
+the same visibility without touching a single simulated value:
+
+* :mod:`~repro.telemetry.registry` — typed counters, gauges, and
+  histograms with a shared null object for the disabled path;
+* :mod:`~repro.telemetry.spans` — nesting context-manager spans on
+  monotonic clocks;
+* :mod:`~repro.telemetry.sinks` — JSONL event log and atomic
+  Prometheus text exposition;
+* :mod:`~repro.telemetry.windows` — the live 500 µs window stream
+  mirroring the CB host-pull;
+* :mod:`~repro.telemetry.runtime` — the process-wide switch every
+  instrumented layer calls through;
+* :mod:`~repro.telemetry.profile` — the end-of-run profile report.
+
+Telemetry is strictly opt-in (``--telemetry`` on the CLIs, or
+:func:`configure` from code) and inert by default: with the switch off,
+every entry point is a no-op and the platform's outputs are
+byte-identical to an uninstrumented build.
+"""
+
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    NULL_METRIC,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from repro.telemetry.runtime import (
+    configure,
+    counter,
+    enabled,
+    event,
+    gauge,
+    histogram,
+    registry,
+    session,
+    shutdown,
+    span,
+    stream,
+    tracker,
+    window_publisher,
+)
+from repro.telemetry.sinks import (
+    JsonlSink,
+    parse_prometheus,
+    read_events,
+    render_prometheus,
+    replay_events_into,
+    snapshot_events,
+    write_prometheus,
+)
+from repro.telemetry.spans import SpanRecord, SpanTracker
+from repro.telemetry.windows import WindowSeries, WindowStream
+
+# repro.telemetry.profile is deliberately NOT imported here: it depends
+# on repro.faults.report, and keeping this package's import closure at
+# stdlib + repro.errors lets any layer of the stack (the emulator
+# included) import the runtime without risking a cycle.  Import
+# ``repro.telemetry.profile`` explicitly where the report is built.
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "NULL_METRIC",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "JsonlSink",
+    "SpanRecord",
+    "SpanTracker",
+    "WindowSeries",
+    "WindowStream",
+    "configure",
+    "shutdown",
+    "session",
+    "enabled",
+    "registry",
+    "tracker",
+    "stream",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "event",
+    "window_publisher",
+    "snapshot_events",
+    "read_events",
+    "replay_events_into",
+    "render_prometheus",
+    "write_prometheus",
+    "parse_prometheus",
+]

@@ -1,0 +1,225 @@
+"""Telemetry sinks: JSONL event log and Prometheus text exposition.
+
+Two serialized views of one registry:
+
+* :class:`JsonlSink` is the *streaming* view — span closures, window
+  samples, and final metric snapshots append as single-line JSON
+  objects, so a run can be tailed in flight and reconstructed after the
+  fact (:func:`replay_events_into` rebuilds a registry from the file).
+* :func:`write_prometheus` is the *scrapeable* view — the standard
+  text exposition format, written atomically (tmp + ``os.replace``) so
+  a scraper or a ``watch cat`` never reads a torn file.
+
+Round trip: ``registry → JSONL → registry → Prometheus text`` is
+lossless for every metric type (histograms travel with their full
+bucket state), which ``tests/test_telemetry.py`` pins down.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import TelemetryError
+from repro.telemetry.registry import Counter, Gauge, Histogram, MetricRegistry
+
+
+class JsonlSink:
+    """Append-only JSONL event log (one JSON object per line)."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = str(path)
+        try:
+            self._handle = open(self.path, "w", encoding="utf-8")
+        except OSError as error:
+            raise TelemetryError(
+                f"cannot open telemetry event log {self.path}: {error}"
+            ) from error
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        if self._handle.closed:
+            return
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def snapshot_events(registry: MetricRegistry) -> Iterator[dict]:
+    """Final-value events for every metric in the registry.
+
+    Emitted into the JSONL log at shutdown so the file alone carries
+    the complete end state, not just the streamed deltas.
+    """
+    for metric in registry:
+        labels = dict(metric.labels)
+        if isinstance(metric, Counter):
+            yield {
+                "event": "metric",
+                "type": "counter",
+                "name": metric.name,
+                "labels": labels,
+                "value": metric.value,
+            }
+        elif isinstance(metric, Gauge):
+            yield {
+                "event": "metric",
+                "type": "gauge",
+                "name": metric.name,
+                "labels": labels,
+                "value": metric.value,
+            }
+        elif isinstance(metric, Histogram):
+            yield {
+                "event": "metric",
+                "type": "histogram",
+                "name": metric.name,
+                "labels": labels,
+                "buckets": list(metric.buckets),
+                "counts": list(metric.counts),
+                "sum": metric.sum,
+                "count": metric.count,
+            }
+
+
+def read_events(path: str | os.PathLike) -> Iterator[dict]:
+    """Iterate the events of a JSONL log (torn tail line ignored)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except ValueError:
+                continue  # torn final line from a killed run
+
+
+def replay_events_into(
+    registry: MetricRegistry, events: Iterable[Mapping[str, object]]
+) -> MetricRegistry:
+    """Rebuild metric state from ``metric`` snapshot events.
+
+    Streaming events (``span``, ``window``) are already folded into the
+    snapshot values by the producer, so only ``metric`` events replay.
+    """
+    for event in events:
+        if event.get("event") != "metric":
+            continue
+        name = str(event["name"])
+        labels = {str(k): str(v) for k, v in dict(event.get("labels", {})).items()}
+        kind = event.get("type")
+        if kind == "counter":
+            registry.counter(name, **labels).inc(float(event["value"]))
+        elif kind == "gauge":
+            registry.gauge(name, **labels).set(float(event["value"]))
+        elif kind == "histogram":
+            histogram = registry.histogram(
+                name, buckets=tuple(float(b) for b in event["buckets"]), **labels
+            )
+            counts = [int(c) for c in event["counts"]]
+            if len(counts) != len(histogram.counts):
+                raise TelemetryError(
+                    f"histogram {name!r} snapshot has {len(counts)} buckets, "
+                    f"registry has {len(histogram.counts)}"
+                )
+            for i, c in enumerate(counts):
+                histogram.counts[i] += c
+            histogram.sum += float(event["sum"])
+            histogram.count += int(event["count"])
+    return registry
+
+
+# -- Prometheus text exposition ----------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: MetricRegistry) -> str:
+    """The registry in Prometheus text exposition format (0.0.4)."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for metric in registry:
+        if isinstance(metric, Counter):
+            kind = "counter"
+        elif isinstance(metric, Gauge):
+            kind = "gauge"
+        elif isinstance(metric, Histogram):
+            kind = "histogram"
+        else:  # pragma: no cover - registry only stores the three types
+            continue
+        if metric.name not in seen_types:
+            lines.append(f"# TYPE {metric.name} {kind}")
+            seen_types.add(metric.name)
+        if isinstance(metric, Histogram):
+            for le, cumulative in metric.cumulative():
+                le_text = "+Inf" if math.isinf(le) else _format_value(le)
+                labels = _format_labels(metric.labels, f'le="{le_text}"')
+                lines.append(f"{metric.name}_bucket{labels} {cumulative}")
+            labels = _format_labels(metric.labels)
+            lines.append(f"{metric.name}_sum{labels} {_format_value(metric.sum)}")
+            lines.append(f"{metric.name}_count{labels} {metric.count}")
+        else:
+            labels = _format_labels(metric.labels)
+            lines.append(f"{metric.name}{labels} {_format_value(metric.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(registry: MetricRegistry, path: str | os.PathLike) -> None:
+    """Atomically write the exposition file (never torn mid-scrape)."""
+    path = str(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(render_prometheus(registry))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as error:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise TelemetryError(
+            f"cannot write metrics file {path}: {error}"
+        ) from error
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse exposition text into ``{sample_line_key: value}``.
+
+    The key is the full sample name including its label string, so the
+    round-trip tests (and the CI smoke job) can compare two expositions
+    sample-for-sample without a real Prometheus parser.
+    """
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        if not key:
+            raise TelemetryError(f"unparseable exposition line: {line!r}")
+        samples[key] = float(value)
+    return samples

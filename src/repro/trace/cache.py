@@ -55,6 +55,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.errors import ConfigurationError, TraceError
+from repro.telemetry import runtime as telemetry
 
 #: Manifest file name inside every entry directory.
 MANIFEST_NAME = "manifest.json"
@@ -94,6 +95,17 @@ class TraceCacheStats:
             f"stores={self.stores} corrupt={self.corrupt} "
             f"quarantined={self.quarantined}"
         )
+
+    def count(self, event: str) -> None:
+        """Bump one counter, mirroring it into the telemetry registry.
+
+        ``event`` is one of the field names above.  The attribute stays
+        the source the CLI's ``trace cache:`` line prints; the mirrored
+        ``repro_trace_cache_events_total{event=}`` counter is what the
+        profile's hit-rate readout consumes.
+        """
+        setattr(self, event, getattr(self, event) + 1)
+        telemetry.counter("repro_trace_cache_events_total", event=event).inc()
 
 
 def _file_crc32(path: Path) -> int:
@@ -216,19 +228,19 @@ class TraceCache:
         if not (entry / MANIFEST_NAME).is_file():
             # No manifest means no entry at all — a clean miss, not
             # damage (the manifest is written last on store).
-            self.stats.misses += 1
+            self.stats.count("misses")
             return None
         try:
             meta, arrays = _read_entry(entry, mmap, expect_key=key)
         except (OSError, ValueError, KeyError, TypeError) as error:
             # A present-but-damaged entry: count it, move it aside so
             # the next store can republish cleanly, and miss.
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+            self.stats.count("corrupt")
+            self.stats.count("misses")
             self._quarantine(entry)
             del error
             return None
-        self.stats.hits += 1
+        self.stats.count("hits")
         return meta, arrays
 
     def _quarantine(self, entry: Path) -> None:
@@ -242,7 +254,7 @@ class TraceCache:
         try:
             shutil.rmtree(target, ignore_errors=True)
             os.rename(entry, target)
-            self.stats.quarantined += 1
+            self.stats.count("quarantined")
         except OSError:
             shutil.rmtree(entry, ignore_errors=True)
 
@@ -297,7 +309,7 @@ class TraceCache:
                     os.rename(tmp, final)
         finally:
             shutil.rmtree(tmp, ignore_errors=True)
-        self.stats.stores += 1
+        self.stats.count("stores")
         return final
 
 

@@ -91,6 +91,12 @@ PUBLIC_MODULES = [
     "repro.faults.spec",
     "repro.faults.report",
     "repro.faults.injector",
+    "repro.telemetry.registry",
+    "repro.telemetry.spans",
+    "repro.telemetry.sinks",
+    "repro.telemetry.windows",
+    "repro.telemetry.runtime",
+    "repro.telemetry.profile",
 ]
 
 ENTRY_POINTS = [

@@ -9,15 +9,17 @@ gracefully or fails loudly with the offending grid point attached.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 
 import pytest
 
-from repro.errors import SweepInterrupted, SweepPointError
+from repro.errors import ConfigurationError, SweepInterrupted, SweepPointError
 from repro.faults.spec import FaultSpec
 from repro.harness.parallel import parallel_map
 from repro.harness.supervisor import (
+    JOURNAL_FORMAT,
     SupervisorContext,
     SupervisorPolicy,
     SweepJournal,
@@ -221,3 +223,54 @@ class TestInterrupt:
         with pytest.raises(SweepInterrupted):
             supervised_map(interrupts, [0, 1, 2], jobs=2, context=context)
         assert "sweep interrupted" in capsys.readouterr().err
+
+
+class TestJournalV3:
+    """The v3 schema: per-entry wall_time_s and attempts cost metadata."""
+
+    def test_entries_carry_wall_time_and_attempts(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            context = SupervisorContext(journal=journal)
+            supervised_map(square, [1, 2], jobs=None, context=context)
+        rows = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert rows[0] == {"format": JOURNAL_FORMAT}
+        for row in rows[1:]:
+            assert row["schema"] == JOURNAL_FORMAT
+            assert row["attempts"] == 1
+            assert isinstance(row["wall_time_s"], float)
+            assert row["wall_time_s"] >= 0.0
+
+    def test_retried_point_records_its_attempt_count(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            context = SupervisorContext(
+                policy=SupervisorPolicy(retries=2, backoff_base=0.01),
+                journal=journal,
+            )
+            supervised_map(flaky_raise, [(5, str(tmp_path))], jobs=None, context=context)
+        rows = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert rows[-1]["attempts"] == 2  # one failure, then success
+
+    def test_resume_loads_cost_metadata(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            context = SupervisorContext(journal=journal)
+            supervised_map(square, [1, 2, 3], jobs=None, context=context)
+        with SweepJournal(path, resume=True) as journal:
+            assert len(journal.meta) == 3
+            for meta in journal.meta.values():
+                assert meta["attempts"] == 1
+                assert meta["wall_time_s"] >= 0.0
+
+    def test_v2_journal_is_refused(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"format": 2}\n', encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="schema 2"):
+            SweepJournal(path, resume=True)
