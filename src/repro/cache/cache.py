@@ -149,6 +149,22 @@ class SetAssociativeCache:
         LRU caches run through the batched :class:`FastLRUKernel` path;
         every other policy falls back to the generic per-access loop.
         """
+        hits = self.probe_lines_batch(lines, kinds, cores)
+        return len(lines) - int(np.count_nonzero(hits))
+
+    def probe_lines_batch(
+        self,
+        lines: np.ndarray,
+        kinds: np.ndarray,
+        cores: np.ndarray | int,
+    ) -> np.ndarray:
+        """Like :meth:`access_lines_batch`, but returns the hit mask.
+
+        The per-access boolean result (in stream order) is what the
+        batched emulator pipeline needs to aggregate window samples by
+        prefix sums; state updates and statistics accounting are
+        identical to :meth:`access_lines_batch`.
+        """
         policy = self._policy
         stats = self.stats
         if isinstance(policy, FastLRUKernel):
@@ -158,11 +174,11 @@ class SetAssociativeCache:
             result = policy.lookup_batch(lines, set_indices)
             stats.evictions += result.evictions
             stats.note_batch(kinds, cores, result.hits)
-            return result.misses
+            return result.hits
         set_mask = self._set_mask
-        misses_before = stats.misses
         read_kind = int(AccessKind.READ)
         scalar_core = isinstance(cores, (int, np.integer))
+        hits = np.empty(len(lines), dtype=bool)
         # Local-variable binding keeps the per-access Python overhead low.
         for i in range(len(lines)):
             line = int(lines[i])
@@ -171,7 +187,8 @@ class SetAssociativeCache:
                 stats.evictions += 1
             core = int(cores) if scalar_core else int(cores[i])
             stats.note_access(core, int(kinds[i]) == read_kind, hit)
-        return stats.misses - misses_before
+            hits[i] = hit
+        return hits
 
     def access_stream(self, stream) -> CacheStats:
         """Drain a trace stream through the cache; returns final stats."""

@@ -50,10 +50,33 @@ from repro.units import (
 #: Dragonhead has four cache-controller FPGAs (CC0..CC3).
 NUM_BANKS = 4
 
-#: Line-number shift that folds the bank-selection bits away, derived
-#: from the bank count so the banked (chunk) and unbanked (scalar)
-#: paths cannot diverge if NUM_BANKS ever changes.
-BANK_SHIFT = NUM_BANKS.bit_length() - 1
+
+def derive_bank_shift(num_banks: int) -> int:
+    """Line-number shift that folds the bank-selection bits away.
+
+    Bank selection keeps the low ``log2(num_banks)`` line bits
+    (``line % num_banks``) and the bank-local line number discards them
+    (``line >> shift``).  That pair of operations only inverts cleanly
+    when the bank count is a power of two; for any other count
+    ``bit_length() - 1`` under-shifts and distinct lines silently
+    collide inside a bank, so refuse the configuration outright.
+    """
+    if num_banks <= 0 or not is_power_of_two(num_banks):
+        raise ConfigurationError(
+            f"bank count must be a positive power of two, got {num_banks}: "
+            "address-interleaved bank selection cannot fold away a "
+            "non-power-of-two modulus"
+        )
+    return num_banks.bit_length() - 1
+
+
+BANK_SHIFT = derive_bank_shift(NUM_BANKS)
+
+#: Precomputed numpy operands for the vectorized bank-routing path.
+#: ``& _BANK_MASK`` equals ``% NUM_BANKS`` exactly because
+#: :func:`derive_bank_shift` guarantees a power-of-two bank count.
+_BANK_MASK = np.uint64(NUM_BANKS - 1)
+_BANK_SHIFT_U64 = np.uint64(BANK_SHIFT)
 
 
 @dataclass(frozen=True, slots=True)
@@ -340,19 +363,166 @@ class DragonheadEmulator:
         if not self.af.emulating:
             self.af.filtered_transactions += len(chunk)
             return
-        core = self.af.current_core
+        if not len(chunk):
+            return
         lines = chunk.lines(self.config.line_size)
-        kinds = chunk.kinds
         if self._oracle is not None:
             self._oracle.observe(lines)
-        bank_index = (lines % np.uint64(NUM_BANKS)).astype(np.uint8)
+        self._banked_probe(lines, chunk.kinds, self.af.current_core)
+
+    def snoop_batch(self, chunk: TraceChunk) -> None:
+        """Observe a core-tagged batch of data transactions.
+
+        Unlike :meth:`snoop_chunk`, the chunk's per-access ``cores``
+        tags are honoured, so one batch may span what would otherwise
+        be several CORE_ID-delimited chunks.  Per-bank access order is
+        the stream order (stable grouping), so CC bank state evolves
+        exactly as it would under per-chunk dispatch.
+        """
+        if not self.af.emulating:
+            self.af.filtered_transactions += len(chunk)
+            return
+        if not len(chunk):
+            return
+        lines = chunk.lines(self.config.line_size)
+        if self._oracle is not None:
+            self._oracle.observe(lines)
+        self._banked_probe(lines, chunk.kinds, chunk.cores)
+
+    def _banked_probe(self, lines, kinds, cores, collect_hits: bool = False):
+        """Route one line batch to the CC banks, vectorized.
+
+        One stable argsort groups the batch by bank; ``searchsorted``
+        over the sorted bank indices yields each bank's contiguous
+        slice, probed with a single batch call.  The stable sort
+        preserves per-bank access order, which is all LRU state depends
+        on — so this is bit-identical to per-access dispatch.
+
+        ``cores`` may be a scalar (whole batch one core) or a
+        per-access array.  With ``collect_hits`` the per-access hit
+        mask is gathered back to stream order and returned.
+        """
+        bank_index = (lines & _BANK_MASK).astype(np.uint8)
+        order = np.argsort(bank_index, kind="stable")
+        sorted_banks = bank_index[order]
+        bounds = np.searchsorted(
+            sorted_banks, np.arange(NUM_BANKS + 1, dtype=np.uint8), side="left"
+        )
+        sorted_lines = lines[order] >> _BANK_SHIFT_U64
+        sorted_kinds = kinds[order]
+        per_access_cores = not np.isscalar(cores) and getattr(cores, "ndim", 0) > 0
+        sorted_cores = cores[order] if per_access_cores else cores
+        hits_sorted = np.empty(len(lines), dtype=bool) if collect_hits else None
         for b in range(NUM_BANKS):
-            mask = bank_index == b
-            if not mask.any():
+            lo, hi = int(bounds[b]), int(bounds[b + 1])
+            if lo == hi:
                 continue
-            self.banks[b].access_lines_batch(
-                lines[mask] >> np.uint64(BANK_SHIFT), kinds[mask], core
+            bank_cores = sorted_cores[lo:hi] if per_access_cores else sorted_cores
+            if collect_hits:
+                hits_sorted[lo:hi] = self.banks[b].probe_lines_batch(
+                    sorted_lines[lo:hi], sorted_kinds[lo:hi], bank_cores
+                )
+            else:
+                self.banks[b].access_lines_batch(
+                    sorted_lines[lo:hi], sorted_kinds[lo:hi], bank_cores
+                )
+        if not collect_hits:
+            return None
+        hits = np.empty(len(lines), dtype=bool)
+        hits[order] = hits_sorted
+        return hits
+
+    def emulate_stream(
+        self, chunk: TraceChunk, progress: np.ndarray, filtered: int = 0
+    ) -> None:
+        """Run one whole emulation session as a single batched pass.
+
+        Equivalent — counter for counter, window for window, LRU state
+        for LRU state — to issuing START, then interleaving CORE_ID
+        switches, data chunks, and INSTRUCTIONS_RETIRED /
+        CYCLES_COMPLETED progress messages per ``progress``, then STOP.
+
+        Args:
+            chunk: the full core-tagged data stream of the session.
+            progress: int array of shape ``(P, 3)`` — rows of
+                ``(offset, instructions, cycles)`` meaning "after
+                ``offset`` data accesses, a progress report carrying
+                these cumulative counters arrived".  Offsets and both
+                counters must be non-decreasing, as any AF-captured
+                session satisfies.
+            filtered: out-of-window transaction count to restore (what
+                the AF dropped before/around the captured session).
+
+        The 500 µs windows are aggregated by ``searchsorted`` over the
+        progress series (one cumulative-miss prefix sum supplies every
+        window's counters) instead of a per-message clock check.  Only
+        available on a strict emulator: the lenient channel model
+        (anomaly resynchronization, window interpolation) keeps the
+        per-message path.
+        """
+        if not self.strict:
+            raise ConfigurationError(
+                "emulate_stream requires a strict emulator; lenient runs "
+                "keep the per-message path"
             )
+        af = self.af
+        if af.emulating:
+            raise RecoverableProtocolError("START_EMULATION while already emulating")
+        progress = np.asarray(progress, dtype=np.int64).reshape(-1, 3)
+        n = len(chunk)
+        offsets = progress[:, 0]
+        instructions = progress[:, 1]
+        cycles = progress[:, 2]
+        if len(progress):
+            if (
+                int(offsets[0]) < 0
+                or int(offsets[-1]) > n
+                or np.any(np.diff(offsets) < 0)
+            ):
+                raise ConfigurationError(
+                    "progress offsets must be non-decreasing and within the stream"
+                )
+            if np.any(np.diff(instructions) < 0) or int(instructions[0]) < 0:
+                raise RecoverableProtocolError(
+                    "instructions-retired counter moved backwards"
+                )
+            if np.any(np.diff(cycles) < 0) or int(cycles[0]) < 0:
+                raise RecoverableProtocolError(
+                    "cycles-completed counter moved backwards"
+                )
+        af.filtered_transactions += int(filtered)
+        af.emulating = True
+        af.instructions_retired = 0
+        af.cycles_completed = 0
+        if n:
+            lines = chunk.lines(self.config.line_size)
+            if self._oracle is not None:
+                self._oracle.observe(lines)
+            hits = self._banked_probe(
+                lines, chunk.kinds, chunk.cores, collect_hits=True
+            )
+            af.current_core = int(chunk.cores[-1])
+            core_messages = 1 + int(
+                np.count_nonzero(chunk.cores[1:] != chunk.cores[:-1])
+            )
+            telemetry.counter("repro_cosim_batched_accesses_total").inc(n)
+        else:
+            hits = np.empty(0, dtype=bool)
+            core_messages = 0
+        if len(progress):
+            cumulative_misses = np.concatenate(
+                ([0], np.cumsum(~hits, dtype=np.int64))
+            )
+            self.sampler.advance_series(
+                cycles, instructions, offsets, cumulative_misses[offsets]
+            )
+            af.instructions_retired = int(instructions[-1])
+            af.cycles_completed = int(cycles[-1])
+        # START + STOP + two counter messages per progress report +
+        # one CORE_ID per core run (continuation words of wide payloads
+        # decode to None and never count).
+        af.messages_seen += 2 + 2 * len(progress) + core_messages
+        af.emulating = False
 
     def _access(self, address: int, kind: AccessKind, core: int) -> None:
         line = address >> self._line_shift

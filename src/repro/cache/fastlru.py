@@ -68,6 +68,11 @@ from repro.cache.replacement import ReplacementPolicy
 #: Sentinel used in the exported tag matrix for empty ways.
 EMPTY_WAY = -1
 
+#: Miss sentinel for the pop-then-reinsert hit test: stored way values
+#: are always ``None``, so ``ways.pop(tag, _ABSENT) is None`` decides
+#: hit/miss in a single hash probe.
+_ABSENT = object()
+
 #: Above this many ways a set uses ``OrderedDict`` instead of ``dict``:
 #: plain-dict eviction cost is amortized O(associativity) (tombstone
 #: scan), OrderedDict's is O(1) but each access pays a little more.
@@ -205,8 +210,9 @@ class FastLRUKernel(ReplacementPolicy):
                 ways = sets[set_index]
                 if ways is None:
                     ways = sets[set_index] = self._set_factory()
-                if tag in ways:
-                    del ways[tag]
+                # pop-then-reinsert: one hash probe fewer per hit than
+                # membership-test + delete + insert, same LRU order.
+                if ways.pop(tag, _ABSENT) is None:
                     ways[tag] = None
                     note_hit(True)
                     note_victim(EMPTY_WAY)
@@ -234,8 +240,7 @@ class FastLRUKernel(ReplacementPolicy):
             if ways is None:
                 ways = sets[0] = self._set_factory()
             for tag in tag_list:
-                if tag in ways:
-                    del ways[tag]
+                if ways.pop(tag, _ABSENT) is None:
                     ways[tag] = None
                     note_hit(True)
                 else:
@@ -249,8 +254,7 @@ class FastLRUKernel(ReplacementPolicy):
                 ways = sets[set_index]
                 if ways is None:
                     ways = sets[set_index] = self._set_factory()
-                if tag in ways:
-                    del ways[tag]
+                if ways.pop(tag, _ABSENT) is None:
                     ways[tag] = None
                     note_hit(True)
                 else:

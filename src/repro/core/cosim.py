@@ -277,14 +277,20 @@ def cosim_cache_sweep(
     """Run one co-simulation per cache size; returns (size, MPKI) pairs.
 
     This is the exact-path analog of the Figure 4-6 sweeps, usable at
-    the reduced scales the instrumented kernels execute at.  Each size
-    gets a fresh platform, as reprogramming the FPGAs would.
+    the reduced scales the instrumented kernels execute at.  The
+    simulator side (trace generation, DEX scheduling, protocol
+    encoding) runs once; each size then replays the captured stream
+    through a fresh emulator — field-for-field identical to giving each
+    size its own platform (``tests/test_harness_replay.py``), minus the
+    N-1 redundant generation passes.
     """
+    # Imported here: the replay engine sits above this module and
+    # imports CoSimResult from it.
+    from repro.harness.replay import capture_replay_log, replay
+
+    log = capture_replay_log(workload, cores, quantum=quantum)
     results: list[tuple[int, float]] = []
     for size in cache_sizes:
-        platform = CoSimPlatform(
-            DragonheadConfig(cache_size=size, line_size=line_size), quantum=quantum
-        )
-        outcome = platform.run(workload, cores)
-        results.append((size, outcome.mpki))
+        config = DragonheadConfig(cache_size=size, line_size=line_size)
+        results.append((size, replay(log, config).mpki))
     return results

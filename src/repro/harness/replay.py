@@ -113,13 +113,35 @@ class ReplayLog:
     def core_tags(self) -> np.ndarray:
         """Expand the segment table into a per-access core-id array."""
         cores = np.zeros(self.accesses, dtype=np.uint16)
-        start = 0
-        for opcode, a, b in self.events:
-            if int(opcode) == EVENT_DATA:
-                end = int(a)
-                cores[start:end] = int(b)
-                start = end
+        if len(self.events):
+            data = self.events[self.events[:, 0] == EVENT_DATA]
+            if len(data):
+                ends = data[:, 1].astype(np.int64)
+                lengths = np.diff(ends, prepend=0)
+                cores[: int(ends[-1])] = np.repeat(
+                    data[:, 2].astype(np.uint16), lengths
+                )
         return cores
+
+    def progress_table(self) -> np.ndarray:
+        """Progress reports as ``(offset, instructions, cycles)`` rows.
+
+        The batched replay path's input: for each PROGRESS event, the
+        number of data accesses that preceded it (a running maximum of
+        the DATA segment end offsets) plus its cumulative counters.
+        """
+        events = self.events
+        if not len(events):
+            return np.empty((0, 3), dtype=np.int64)
+        opcodes = events[:, 0]
+        progress_mask = opcodes == EVENT_PROGRESS
+        ends = np.where(progress_mask, 0, events[:, 1]).astype(np.int64)
+        offsets = np.maximum.accumulate(ends)
+        table = np.empty((int(np.count_nonzero(progress_mask)), 3), dtype=np.int64)
+        table[:, 0] = offsets[progress_mask]
+        table[:, 1] = events[progress_mask, 1].astype(np.int64)
+        table[:, 2] = events[progress_mask, 2].astype(np.int64)
+        return table
 
     def to_chunk(self) -> TraceChunk:
         """The whole captured stream as one core-tagged trace chunk.
@@ -325,7 +347,27 @@ def replay_into(log: ReplayLog, port, on_event=None, resume=None) -> None:
             (filtered-counter restore + START message) is skipped — the
             AF state it would have produced is restored separately —
             and replay continues from the recorded event.
+
+    A bare strict :class:`DragonheadEmulator` with no event observer and
+    no resume point takes the batched fast path: the whole session runs
+    as one :meth:`~DragonheadEmulator.emulate_stream` call (vectorized
+    bank routing, one batch probe per bank, window aggregation by
+    ``searchsorted``), which is bit-identical to the per-event loop —
+    the differential suite in ``tests/test_harness_replay.py`` holds
+    the two paths equal field for field.  Wrapped ports (fault
+    injectors), lenient emulators, observers, and resumed runs keep the
+    per-event loop: their semantics depend on seeing each message.
     """
+    if (
+        on_event is None
+        and resume is None
+        and isinstance(port, DragonheadEmulator)
+        and port.strict
+    ):
+        port.emulate_stream(
+            log.to_chunk(), log.progress_table(), filtered=log.filtered
+        )
+        return
     addresses = log.addresses
     kinds = log.kinds
     pcs = log.pcs
@@ -669,7 +711,11 @@ def replay_map(
     With ``jobs`` > 1 the configurations split across worker processes;
     when the log lives in a trace cache (``entry_dir``), workers
     memory-map it from disk instead of receiving pickled copies, so the
-    log exists once no matter how wide the fan-out.  ``spec`` and
+    log exists once no matter how wide the fan-out.  A log that is
+    *not* cache-backed gets spilled into a temporary content-addressed
+    cache entry first, so every fan-out rides the shared-memory
+    transport: workers receive the entry key and memmap the arrays,
+    never an in-band pickled copy of the trace.  ``spec`` and
     ``lenient`` ride along to every point (the injector re-seeds itself
     per grid point, so fan-out width never changes the fault stream);
     ``audit`` audits every point's result.
@@ -690,16 +736,33 @@ def replay_map(
                 replay(log, config, spec=spec, lenient=lenient, audit=audit_mode)
                 for config in configs
             ]
-        handle = (
-            _LogHandle(entry_dir=entry_dir)
-            if entry_dir is not None
-            else _LogHandle(log=log)
-        )
-        return parallel_map(
-            _replay_task,
-            [(handle, config, spec, lenient, audit_mode) for config in configs],
-            jobs=jobs,
-        )
+        spill_dir: str | None = None
+        try:
+            if entry_dir is None:
+                import tempfile
+
+                spill_dir = tempfile.mkdtemp(prefix="repro-log-spill-")
+                key = log_cache_key(
+                    log.workload,
+                    log.cores,
+                    log.quantum,
+                    log.boot_noise_accesses,
+                    extra={"transport": "spill", "accesses": log.accesses},
+                )
+                meta, arrays = log.to_payload()
+                entry_dir = str(TraceCache(spill_dir).store(key, meta, arrays))
+                telemetry.counter("repro_replay_log_spills_total").inc()
+            handle = _LogHandle(entry_dir=entry_dir)
+            return parallel_map(
+                _replay_task,
+                [(handle, config, spec, lenient, audit_mode) for config in configs],
+                jobs=jobs,
+            )
+        finally:
+            if spill_dir is not None:
+                import shutil
+
+                shutil.rmtree(spill_dir, ignore_errors=True)
 
 
 def replay_sweep(

@@ -74,6 +74,51 @@ JOURNAL_FORMAT = 3
 _UNSET = object()
 
 
+class _CanonicalSet(tuple):
+    """Marker wrapper for a set canonicalized to an ordered tuple.
+
+    A distinct type keeps a canonicalized set from colliding with a
+    genuine tuple of the same members in the key space.
+    """
+
+    __slots__ = ()
+
+
+def _canonical(value: Any) -> Any:
+    """Rebuild ``value`` with deterministic container ordering.
+
+    Pickle serializes dicts and sets in iteration order, so two equal
+    items built in different orders pickle to different bytes and get
+    different journal keys.  Dicts are rebuilt with entries sorted by
+    their pickled keys (a total, content-stable order — ``repr`` ties
+    or cross-type ``<`` comparisons are not), sets become sorted
+    :class:`_CanonicalSet` tuples, and lists/tuples/namedtuples recurse
+    elementwise.  Items without dicts or sets are returned structurally
+    identical, so their keys — and existing journals holding them —
+    are unchanged.
+    """
+    if isinstance(value, dict):
+        pairs = [(key, _canonical(item)) for key, item in value.items()]
+        pairs.sort(key=lambda pair: pickle.dumps(pair[0], protocol=4))
+        return dict(pairs)
+    if isinstance(value, (set, frozenset)):
+        members = sorted(
+            (_canonical(member) for member in value),
+            key=lambda member: pickle.dumps(member, protocol=4),
+        )
+        return _CanonicalSet(members)
+    if isinstance(value, list):
+        return [_canonical(item) for item in value]
+    if isinstance(value, tuple):
+        items = tuple(_canonical(item) for item in value)
+        if type(value) is tuple:
+            return items
+        if hasattr(value, "_fields"):  # namedtuple: rebuild same type
+            return type(value)(*items)
+        return value  # unknown tuple subclass: leave untouched
+    return value
+
+
 @dataclass(frozen=True)
 class SupervisorPolicy:
     """How a supervised sweep treats misbehaving points.
@@ -186,9 +231,15 @@ class SweepJournal:
 
     @staticmethod
     def point_key(task: Callable, item: Any) -> str:
-        """Content key of one grid point: task identity + pickled item."""
+        """Content key of one grid point: task identity + pickled item.
+
+        The item is canonicalized first: pickled dicts carry their
+        insertion order, so ``{"a": 1, "b": 2}`` and ``{"b": 2, "a": 1}``
+        — the same grid point — would otherwise hash to different keys
+        and ``--resume`` would re-run completed work.
+        """
         identity = f"{task.__module__}.{task.__qualname__}".encode("utf-8")
-        payload = pickle.dumps(item, protocol=4)
+        payload = pickle.dumps(_canonical(item), protocol=4)
         return hashlib.sha256(identity + b"\x1f" + payload).hexdigest()
 
     def __contains__(self, key: str) -> bool:

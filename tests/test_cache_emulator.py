@@ -176,6 +176,19 @@ class TestBankShift:
 
         assert BANK_SHIFT == NUM_BANKS.bit_length() - 1
 
+    def test_non_power_of_two_bank_count_is_refused(self):
+        """bit_length()-1 under-shifts for non-power-of-two counts, which
+        would silently collide distinct lines inside a bank — the guard
+        must refuse such a configuration outright."""
+        from repro.cache.emulator import derive_bank_shift
+
+        assert derive_bank_shift(1) == 0
+        assert derive_bank_shift(4) == 2
+        assert derive_bank_shift(16) == 4
+        for bad in (0, -4, 3, 5, 6, 7, 12):
+            with pytest.raises(ConfigurationError):
+                derive_bank_shift(bad)
+
     def test_scalar_and_chunk_paths_agree(self):
         """snoop() per transaction equals snoop_chunk(), bank by bank."""
         import numpy as np
@@ -194,6 +207,39 @@ class TestBankShift:
         for bank_chunk, bank_scalar in zip(by_chunk.banks, by_scalar.banks):
             assert bank_chunk.stats.misses == bank_scalar.stats.misses
             assert bank_chunk.stats.accesses == bank_scalar.stats.accesses
+
+    def test_scalar_and_batch_paths_agree_with_core_switches(self):
+        """snoop() with interleaved CORE_ID messages equals one
+        core-tagged snoop_batch() call — same routing, same per-core
+        attribution, same per-bank state."""
+        import numpy as np
+
+        rng = np.random.default_rng(87)
+        chunk = uniform_random(Region(0, 4 * MB), count=4096, rng=rng)
+        cores = rng.integers(0, 4, size=len(chunk)).astype(np.uint16)
+        tagged = TraceChunk(chunk.addresses, chunk.kinds, cores, chunk.pcs)
+        config = DragonheadConfig(cache_size=1 * MB)
+        by_batch = DragonheadEmulator(config)
+        by_scalar = DragonheadEmulator(config)
+        start(by_batch)
+        start(by_scalar)
+        by_batch.snoop_batch(tagged)
+        current = 0
+        for address, kind, core in zip(
+            chunk.addresses.tolist(), chunk.kinds.tolist(), cores.tolist()
+        ):
+            if core != current:
+                send(by_scalar, Message(MessageKind.CORE_ID, core))
+                current = core
+            by_scalar.snoop(FSBTransaction(address=address, kind=AccessKind(kind)))
+        assert by_batch.stats == by_scalar.stats
+        for bank_batch, bank_scalar in zip(by_batch.banks, by_scalar.banks):
+            assert bank_batch.stats == bank_scalar.stats
+            # Full LRU directory state (residency + recency order).
+            state_batch = bank_batch.state_dict()["policy"]
+            state_scalar = bank_scalar.state_dict()["policy"]
+            assert np.array_equal(state_batch["lengths"], state_scalar["lengths"])
+            assert np.array_equal(state_batch["tags"], state_scalar["tags"])
 
 
 class TestReconfigure:

@@ -160,6 +160,93 @@ class TestWindowSampler:
         sampler.advance(1000, 100, stats)
         assert sampler.samples[0].miss_ratio == pytest.approx(0.5)
 
+    def test_exact_boundary_closes_window_with_its_delta(self):
+        """A report landing exactly on a boundary closes the window and
+        the activity it reports is attributed to the closing window —
+        the ``>=`` contract both the scalar and batched paths share."""
+        sampler, stats = self.make()
+        self.feed(stats, 5, 2)
+        sampler.advance(999, 50, stats)
+        assert sampler.samples == []  # one cycle short: window still open
+        self.feed(stats, 1, 0)
+        sampler.advance(1000, 60, stats)  # clock == boundary
+        assert len(sampler.samples) == 1
+        sample = sampler.samples[0]
+        assert sample.accesses == 6 and sample.misses == 2
+        assert sample.instructions == 60 and sample.cycles == 1000
+        # Nothing carried past the boundary: the tail window is empty.
+        sampler.finalize(1000, 60, stats)
+        assert len(sampler.samples) == 1
+
+    def test_fractional_window_width_does_not_drift(self):
+        """3.333 MHz x 500 µs = 1666.5 cycles/window.  Truncating once
+        and striding by 1666 gains a spurious extra window every ~3333
+        windows; the boundary series must instead track ceil(k*width),
+        the reference host-pull integration."""
+        import math
+
+        sampler = WindowSampler(frequency_hz=3.333e6, interval_us=500.0)
+        stats = CacheStats()
+        width = 3.333e6 * 500.0 * 1e-6
+        assert width == 1666.5
+        total = 10_000_000
+        for clock in range(1666, total + 1, 1666):
+            sampler.advance(clock, 0, stats)
+        sampler.advance(total, 0, stats)
+        assert len(sampler.samples) == math.floor(total / width)  # not 6002
+        # Every emitted window ends on a reference boundary.
+        assert sum(s.cycles for s in sampler.samples) == math.ceil(
+            len(sampler.samples) * width
+        )
+
+    def test_integral_window_width_unchanged(self):
+        """The default 100 MHz x 500 µs geometry has integral width;
+        its boundary series must be exactly k * cycles_per_window."""
+        sampler = WindowSampler()  # the emulator's default
+        assert sampler.cycles_per_window == 50_000
+        stats = CacheStats()
+        sampler.advance(150_000, 0, stats)
+        assert [s.cycles for s in sampler.samples] == [50_000] * 3
+
+    def test_advance_series_matches_advance_loop(self):
+        """The batched searchsorted aggregation equals the per-report
+        loop on a randomized progress series, finalize tail included."""
+        import numpy as np
+
+        def cumulative_stats(accesses: int, misses: int) -> CacheStats:
+            stats = CacheStats()
+            stats.accesses = accesses
+            stats.misses = misses
+            stats.hits = accesses - misses
+            return stats
+
+        rng = np.random.default_rng(9)
+        reports = 48
+        cycles = np.cumsum(rng.integers(0, 2500, size=reports))
+        accesses = np.cumsum(rng.integers(0, 50, size=reports))
+        misses = (accesses * 2) // 5
+        instructions = np.cumsum(rng.integers(0, 900, size=reports))
+
+        loop = WindowSampler(frequency_hz=2e6, interval_us=500.0)
+        for i in range(reports):
+            loop.advance(
+                int(cycles[i]),
+                int(instructions[i]),
+                cumulative_stats(int(accesses[i]), int(misses[i])),
+            )
+        batched = WindowSampler(frequency_hz=2e6, interval_us=500.0)
+        batched.advance_series(cycles, instructions, accesses, misses)
+        assert batched.samples == loop.samples
+        final = cumulative_stats(int(accesses[-1]) + 3, int(misses[-1]) + 1)
+        loop.finalize(int(cycles[-1]) + 123, int(instructions[-1]) + 5, final)
+        batched.finalize(int(cycles[-1]) + 123, int(instructions[-1]) + 5, final)
+        assert batched.samples == loop.samples
+
+    def test_advance_series_refused_in_interpolate_mode(self):
+        sampler = WindowSampler(frequency_hz=2e6, interpolate=True)
+        with pytest.raises(ConfigurationError):
+            sampler.advance_series([1000], [0], [0], [0])
+
 
 class TestErrorHierarchy:
     @pytest.mark.parametrize(

@@ -166,6 +166,36 @@ class TestReplayResume:
         assert resumed == fresh
         assert not os.path.exists(path)
 
+    def test_mid_batch_snapshot_resumes_to_batched_result(
+        self, tmp_path, monkeypatch
+    ):
+        """A checkpoint cut strictly inside the access stream — mid-way
+        through what the batched pipeline processes as one pass — must
+        resume (on the per-event path) to the exact result the batched
+        one-shot replay produces: same windows, same per-core splits,
+        same audit verdict."""
+        log = capture_replay_log(small_guest("FIMI"), 2, quantum=512)
+        config = DragonheadConfig(cache_size=1 * MB)
+        path = str(tmp_path / "midbatch.ckpt")
+        batched = replay(log, config, audit="sample")  # fast path: one batch
+
+        kill_after(monkeypatch, replay_module, 1)
+        with pytest.raises(SimulatedKill):
+            replay(
+                log, config, audit="sample", checkpoint_every=1024,
+                checkpoint_path=path,
+            )
+        snapshot = read_snapshot(path)
+        position = int(snapshot["replay"]["start"])
+        assert 0 < position < log.accesses  # genuinely mid-stream
+
+        monkeypatch.setattr(replay_module, "write_snapshot", write_snapshot)
+        resumed = replay(
+            log, config, audit="sample", checkpoint_every=1024, resume_from=path
+        )
+        assert resumed == batched
+        assert resumed.audit is not None and resumed.audit.ok
+
     def test_resume_against_different_config_rejected(self, tmp_path, monkeypatch):
         log = capture_replay_log(small_guest("FIMI"), 2, quantum=512)
         path = str(tmp_path / "replay.ckpt")

@@ -11,12 +11,16 @@ workloads, trace sources, and cache geometries.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.cache.emulator import DragonheadConfig
 from repro.core.cosim import CoSimPlatform
 from repro.harness import cli
 from repro.harness.replay import (
+    EVENT_DATA,
+    EVENT_PROGRESS,
+    ReplayLog,
     capture_replay_log,
     load_or_capture,
     log_cache_key,
@@ -81,6 +85,91 @@ class TestReplayEquivalence:
         # Misses are monotonically non-increasing in cache size.
         misses = [r.llc_stats.misses for r in results]
         assert misses == sorted(misses, reverse=True)
+
+
+def _adversarial_log() -> ReplayLog:
+    """A hand-built log exercising the batched pipeline's edge cases.
+
+    Single-access segments interleave with multi-thousand-access
+    batches, core ids flip between adjacent one-access segments, one
+    run walks consecutive lines across all four banks, and progress
+    reports land one cycle short of, exactly on, and several windows
+    past the 50 000-cycle boundary — including a zero-delta repeat.
+    """
+    rng = np.random.default_rng(31)
+    addresses: list[np.ndarray] = []
+    kinds: list[np.ndarray] = []
+    pcs: list[np.ndarray] = []
+    events: list[tuple[int, int, int]] = []
+    count = 0
+
+    def data(length: int, core: int, lines: np.ndarray | None = None) -> None:
+        nonlocal count
+        if lines is None:
+            lines = rng.integers(0, 1 << 18, size=length)
+        base = np.asarray(lines, dtype=np.uint64) * np.uint64(64)
+        addresses.append(base + rng.integers(0, 64, size=length).astype(np.uint64))
+        kinds.append(rng.integers(0, 2, size=length).astype(np.uint8))
+        pcs.append(rng.integers(0, 1 << 40, size=length).astype(np.uint64))
+        count += length
+        events.append((EVENT_DATA, count, core))
+
+    def progress(instructions: int, cycles: int) -> None:
+        events.append((EVENT_PROGRESS, instructions, cycles))
+
+    data(1, 0)  # single accesses with a core flip between them
+    data(1, 1)
+    data(4096, 2)  # large batch
+    progress(1_000, 49_999)  # one cycle short of the first boundary
+    data(1, 2)  # same core as the previous segment: no CORE_ID reissue
+    progress(2_000, 50_000)  # exactly on the boundary
+    data(8, 3, lines=np.arange(8))  # a run crossing all four banks
+    data(2_048, 0)
+    progress(9_000, 260_000)  # one report crossing four boundaries
+    data(1, 1)  # rapid flips: CORE_ID chatter around single accesses
+    data(1, 0)
+    data(1, 1)
+    data(733, 1)  # extends the open core-1 segment
+    progress(9_500, 260_000)  # zero-cycle repeat: counters hold
+    data(511, 2)
+    progress(12_000, 312_345)
+    return ReplayLog(
+        workload="ADVERSARIAL",
+        cores=4,
+        quantum=4096,
+        boot_noise_accesses=0,
+        addresses=np.concatenate(addresses),
+        kinds=np.concatenate(kinds),
+        pcs=np.concatenate(pcs),
+        events=np.array(events, dtype=np.uint64),
+        filtered=137,
+        instructions=12_000,
+    )
+
+
+class TestAdversarialStream:
+    def test_mixed_size_stream_batched_equals_per_access(self, tmp_path):
+        """Field-for-field ``CoSimResult`` equality between the batched
+        fast path and the per-access message loop (forced by installing
+        a checkpoint observer whose interval never comes due)."""
+        log = _adversarial_log()
+        for config in GEOMETRIES:
+            batched = replay(log, config)
+            per_access = replay(
+                log,
+                config,
+                checkpoint_every=1 << 30,
+                checkpoint_path=str(tmp_path / "never-due.ckpt"),
+            )
+            assert batched == per_access, f"paths diverged at {config}"
+
+    def test_batched_run_passes_sample_audit(self):
+        """The differential LRU oracle, sampled, stays green over a
+        batched run — the banks see the same access-for-access stream
+        the scalar path would feed them."""
+        log = _adversarial_log()
+        result = replay(log, GEOMETRIES[0], audit="sample")
+        assert result.audit is not None and result.audit.ok
 
 
 class TestParallelFanOut:

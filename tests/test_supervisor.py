@@ -69,6 +69,10 @@ def always_fails(item):
     raise RuntimeError(f"point {item} is broken")
 
 
+def dict_total(item):
+    return sum(item.values())
+
+
 def interrupts(item):
     if item == 1:
         raise KeyboardInterrupt
@@ -209,6 +213,45 @@ class TestJournalResume:
         assert SweepJournal.point_key(square, 1) != SweepJournal.point_key(
             always_fails, 1
         )
+
+    def test_point_key_ignores_container_ordering(self):
+        """Pickle serializes dicts/sets in iteration order; the key must
+        not — equal grid points get equal keys however they were built."""
+        assert SweepJournal.point_key(square, {"a": 1, "b": 2}) == (
+            SweepJournal.point_key(square, {"b": 2, "a": 1})
+        )
+        assert SweepJournal.point_key(square, {"a": 1, "b": 2}) != (
+            SweepJournal.point_key(square, {"a": 2, "b": 1})
+        )
+        nested = {"geometry": {"size": 1, "lines": 64}, "flags": ["x"]}
+        reordered = {"flags": ["x"], "geometry": {"lines": 64, "size": 1}}
+        assert SweepJournal.point_key(square, nested) == (
+            SweepJournal.point_key(square, reordered)
+        )
+        assert SweepJournal.point_key(square, {3, 1, 2}) == (
+            SweepJournal.point_key(square, {2, 3, 1})
+        )
+        # A set is not the tuple of its members.
+        assert SweepJournal.point_key(square, {1, 2}) != (
+            SweepJournal.point_key(square, (1, 2))
+        )
+
+    def test_resume_skips_reordered_dict_points(self, tmp_path):
+        """--resume must not re-run a completed point whose dict item
+        was rebuilt with a different insertion order."""
+        path = tmp_path / "journal.jsonl"
+        first_grid = [{"a": 1, "b": 2}, {"b": 30, "a": 10}]
+        with SweepJournal(path) as journal:
+            context = SupervisorContext(journal=journal)
+            first = supervised_map(dict_total, first_grid, jobs=None, context=context)
+        reordered_grid = [{"b": 2, "a": 1}, {"a": 10, "b": 30}]
+        with SweepJournal(path, resume=True) as journal:
+            context = SupervisorContext(journal=journal)
+            second = supervised_map(
+                dict_total, reordered_grid, jobs=None, context=context
+            )
+        assert first == second == [3, 40]
+        assert context.counts["journal-skip"] == 2
 
 
 class TestInterrupt:
