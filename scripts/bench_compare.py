@@ -77,12 +77,27 @@ def compare(base: dict, new: dict, threshold: float) -> tuple[list[str], int]:
     for name in names:
         old_values = base.get("results", {}).get(name)
         new_values = new.get("results", {}).get(name)
-        if old_values is None or new_values is None:
-            lines.append(f"{name}: only in {'new' if old_values is None else 'base'} entry")
+        # A benchmark present in only one entry is information, never a
+        # regression: new benchmarks (and retired ones) must not trip
+        # the gate on histories that predate them.
+        if old_values is None:
+            lines.append(f"{name}: new (not in base entry)")
+            continue
+        if new_values is None:
+            lines.append(f"{name}: removed (not in new entry)")
+            continue
+        if not isinstance(old_values, dict) or not isinstance(new_values, dict):
+            lines.append(f"{name}: {old_values!r} -> {new_values!r}")
             continue
         lines.append(f"{name}:")
         for key in sorted(set(old_values) | set(new_values)):
-            old, current = old_values.get(key), new_values.get(key)
+            if key not in old_values:
+                lines.append(f"  {key:<22}: new ({new_values[key]!r})")
+                continue
+            if key not in new_values:
+                lines.append(f"  {key:<22}: removed (was {old_values[key]!r})")
+                continue
+            old, current = old_values[key], new_values[key]
             if not isinstance(old, (int, float)) or not isinstance(
                 current, (int, float)
             ):

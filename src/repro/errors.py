@@ -139,3 +139,14 @@ class TelemetryError(ReproError):
 
 class CalibrationError(ReproError):
     """A workload memory model could not satisfy its calibration targets."""
+
+
+class SamplingError(ReproError):
+    """A sampled-simulation request was malformed or cannot be satisfied.
+
+    Raised by :mod:`repro.simpoint` for an unparseable ``--sample``
+    spec, a non-positive interval, or a sampling request that conflicts
+    with per-message semantics (fault injection, lenient resync,
+    checkpointing) — the sampled path replays representatives through
+    the batched strict pipeline only.
+    """

@@ -23,6 +23,7 @@ from repro.units import MB
 from repro.workloads.profiles import WORKLOAD_NAMES, memory_model
 
 if TYPE_CHECKING:
+    from repro.simpoint import SampleSpec
     from repro.trace.cache import TraceCache
 
 
@@ -75,40 +76,75 @@ def measured_demand(
     cache_sizes: tuple[int, ...] = (4 * MB, 32 * MB),
     bus: BusModel | None = None,
     trace_cache: "TraceCache | None" = None,
-) -> list[tuple[int, float, float]]:
-    """Exact-path demand bandwidth: (LLC size, MPKI, GB/s) per size.
+    sample: "SampleSpec | None" = None,
+) -> list[tuple[int, float, float, float]]:
+    """Exact-path demand bandwidth: (LLC size, MPKI, GB/s, MPKI error).
 
     The model path above projects bandwidth from calibrated MPKI
     curves; this cross-check measures MPKI by running the instrumented
     kernel through the replay engine — one captured trace, one emulator
     pass per LLC size — and feeds the measured rate through the same
-    :class:`BusModel`.
+    :class:`BusModel`.  With ``sample``, the sweep goes through sampled
+    simulation instead: MPKI is an estimate and the final tuple element
+    carries its error bar (zero on the exact path).
     """
     from repro.harness.replay import replay_sweep, size_sweep_configs
     from repro.workloads.registry import get_workload
 
     bus = bus or BusModel()
     workload = get_workload(workload_name)
-    results = replay_sweep(
-        workload.kernel_guest(),
-        cores,
-        size_sweep_configs(list(cache_sizes)),
-        trace_cache=trace_cache,
-        key_extra={"source": "kernel"},
-    )
+    configs = size_sweep_configs(list(cache_sizes))
+    key_extra = {"source": "kernel"}
+    if sample is not None:
+        from repro.harness.replay import load_or_capture, log_cache_key
+        from repro.simpoint import sampled_sweep
+
+        log, _ = load_or_capture(
+            workload.kernel_guest(),
+            cores,
+            trace_cache=trace_cache,
+            key_extra=key_extra,
+        )
+        log_key = (
+            log_cache_key(workload.name, cores, 4096, 8192, key_extra)
+            if trace_cache is not None
+            else None
+        )
+        sampled = sampled_sweep(
+            log, configs, sample, trace_cache=trace_cache, log_key=log_key
+        )
+        points = [(result.mpki.value, result.mpki.error) for result in sampled]
+    else:
+        results = replay_sweep(
+            workload.kernel_guest(),
+            cores,
+            configs,
+            trace_cache=trace_cache,
+            key_extra=key_extra,
+        )
+        points = [(result.mpki, 0.0) for result in results]
     cpi = cpi_stack(
         workload_name,
         memory_model(workload_name).dl1_mpki(),
         memory_model(workload_name).dl2_mpki(),
     ).total
     return [
-        (size, result.mpki, bus.demand_bandwidth(result.mpki, cpi, cores) / 1e9)
-        for size, result in zip(cache_sizes, results)
+        (size, mpki, bus.demand_bandwidth(mpki, cpi, cores) / 1e9, error)
+        for size, (mpki, error) in zip(cache_sizes, points)
     ]
 
 
-def main(jobs: int | None = None, trace_cache: "TraceCache | None" = None) -> None:
-    """Print per-CMP bandwidth-demand tables."""
+def main(
+    jobs: int | None = None,
+    trace_cache: "TraceCache | None" = None,
+    sample: "SampleSpec | None" = None,
+) -> None:
+    """Print per-CMP bandwidth-demand tables.
+
+    ``sample`` routes the exact-path cross-check through sampled
+    simulation: the table is labelled ``[sampled]`` and its MPKI cells
+    carry error bars.
+    """
     rows = generate(jobs=jobs)
     by_cmp: dict[str, list[BandwidthRow]] = {}
     for row in rows:
@@ -141,15 +177,22 @@ def main(jobs: int | None = None, trace_cache: "TraceCache | None" = None) -> No
         "to main memory'."
     )
     print()
-    measured = measured_demand(trace_cache=trace_cache)
+    measured = measured_demand(trace_cache=trace_cache, sample=sample)
+    title = "Exact-path cross-check: FIMI kernel on 4 cores (replay engine)"
+    if sample is not None:
+        title += " [sampled]"
     print(
         render_table(
             ["LLC size", "measured MPKI", "demand GB/s"],
             [
-                (f"{size // MB}MB", f"{mpki:.2f}", f"{gb_per_s:.2f}")
-                for size, mpki, gb_per_s in measured
+                (
+                    f"{size // MB}MB",
+                    f"{mpki:.2f}±{error:.2f}" if sample is not None else f"{mpki:.2f}",
+                    f"{gb_per_s:.2f}",
+                )
+                for size, mpki, gb_per_s, error in measured
             ],
-            title="Exact-path cross-check: FIMI kernel on 4 cores (replay engine)",
+            title=title,
         )
     )
 

@@ -14,6 +14,15 @@ generation pass.  With ``--trace-cache DIR`` (or the
 across invocations: a warm second run performs zero trace generation,
 which the printed ``trace cache:`` counter line makes observable.
 
+``--sample INTERVAL[,MAXK]`` switches the sweep to sampled simulation
+(:mod:`repro.simpoint`): the captured stream is sliced into
+INTERVAL-access intervals, fingerprinted, clustered, and only one
+representative per cluster is emulated — orders of magnitude faster on
+long traces, reported with per-metric error bars and a ``[sampled]``
+label.  ``--repeats N`` stretches the generated trace N× (each thread's
+trace replayed back to back), the long-stream knob sampled runs are
+built for.
+
 Examples::
 
     repro-cosim --workload FIMI --cores 4 --cache 4MB
@@ -21,6 +30,8 @@ Examples::
                 --trace-cache ~/.cache/repro-traces --jobs 4
     repro-cosim --workload SHOT --cores 8 --cache 2MB --line 256 \\
                 --source synthetic --accesses 50000 --scale 0.0625
+    repro-cosim --workload FIMI --cores 4 --cache 1MB,4MB --source synthetic \\
+                --accesses 262144 --repeats 16 --sample 64k,6
 """
 
 from __future__ import annotations
@@ -31,11 +42,16 @@ from fractions import Fraction
 from repro.audit import AUDIT_MODES, AUDIT_OFF, resolve_audit_mode
 from repro.cache.emulator import DragonheadConfig
 from repro.core.phases import phase_summary
-from repro.errors import AuditError, SweepInterrupted, SweepPointError
+from repro.errors import AuditError, SamplingError, SweepInterrupted, SweepPointError
 from repro.faults.report import merge_records
 from repro.faults.spec import parse_fault_spec
-from repro.harness.replay import log_cache_key, replay_sweep
-from repro.harness.report import render_audit_report, render_degradation_report
+from repro.harness.replay import load_or_capture, log_cache_key, replay_sweep
+from repro.harness.report import (
+    render_audit_report,
+    render_degradation_report,
+    render_series_table,
+)
+from repro.simpoint import parse_sample_spec, sampled_sweep
 from repro.harness.supervisor import SupervisorPolicy, SweepJournal, supervise
 from repro.telemetry import profile as profiling
 from repro.telemetry import runtime as telemetry
@@ -80,6 +96,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=Fraction,
         default=Fraction(1, 256),
         help="synthetic footprint scale, e.g. 1/256 or 0.00390625",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        metavar="N",
+        help="replay each thread's generated trace N times back to back "
+        "(long-stream scaling for sampled runs; default: 1)",
+    )
+    parser.add_argument(
+        "--sample",
+        metavar="INTERVAL[,MAXK]",
+        default=None,
+        help="sampled simulation: slice the stream into INTERVAL-access "
+        "intervals (k/m suffixes allowed), cluster their fingerprints "
+        "into at most MAXK clusters (default 8), and emulate only the "
+        "representatives; results carry error bars and a [sampled] label",
     )
     parser.add_argument("--quantum", type=int, default=4096, help="DEX slice quantum")
     parser.add_argument(
@@ -229,21 +262,28 @@ def _main(args: argparse.Namespace) -> int:
         DragonheadConfig(cache_size=size, line_size=args.line) for size in sizes
     ]
     if args.source == "kernel":
-        guest = workload.kernel_guest()
+        guest = workload.kernel_guest(repeats=args.repeats)
         key_extra = {"source": "kernel"}
     else:
         guest = workload.synthetic_guest(
-            accesses_per_thread=args.accesses, scale=float(args.scale)
+            accesses_per_thread=args.accesses,
+            scale=float(args.scale),
+            repeats=args.repeats,
         )
         key_extra = {
             "source": "synthetic",
             "accesses": args.accesses,
             "scale": str(args.scale),
         }
+    if args.repeats != 1:
+        # Only stamped when used, so existing cached captures stay valid.
+        key_extra["repeats"] = args.repeats
     trace_cache = resolve_trace_cache(args.trace_cache)
     fault_spec = parse_fault_spec(args.inject)
     if args.resume and not args.journal:
         build_parser().error("--resume requires --journal FILE")
+    if args.sample is not None:
+        return _main_sampled(args, workload, guest, configs, key_extra, trace_cache)
 
     if fault_spec is not None and fault_spec.corrupt_trace and trace_cache is not None:
         from repro.faults.injector import inject_trace_corruption
@@ -302,6 +342,86 @@ def _main(args: argparse.Namespace) -> int:
         exit_code = _report(args, workload, configs, results, trace_cache, audit_mode, fault_spec, ctx)
     _emit_telemetry(args, results)
     return exit_code
+
+
+#: Flags the sampled path cannot honour: fault injection, lenient
+#: resynchronization, auditing, checkpointing, journaling, and phase
+#: analysis all assume the full stream goes through the emulator.
+_SAMPLE_CONFLICTS = (
+    ("--inject", "inject"),
+    ("--lenient", "lenient"),
+    ("--audit", "audit"),
+    ("--checkpoint-dir", "checkpoint_dir"),
+    ("--journal", "journal"),
+    ("--resume", "resume"),
+    ("--phases", "phases"),
+)
+
+
+def _main_sampled(args, workload, guest, configs, key_extra, trace_cache) -> int:
+    """The ``--sample`` path: capture (or load) once, sample the sweep."""
+    for flag, attribute in _SAMPLE_CONFLICTS:
+        if getattr(args, attribute):
+            build_parser().error(f"--sample cannot be combined with {flag}")
+    try:
+        spec = parse_sample_spec(args.sample)
+    except SamplingError as error:
+        build_parser().error(str(error))
+    with telemetry.span("run"):
+        log, _ = load_or_capture(
+            guest,
+            args.cores,
+            quantum=args.quantum,
+            trace_cache=trace_cache,
+            key_extra=key_extra,
+        )
+        log_key = (
+            log_cache_key(guest.name, args.cores, args.quantum, 8192, key_extra)
+            if trace_cache is not None
+            else None
+        )
+        results = sampled_sweep(
+            log, configs, spec, trace_cache=trace_cache, log_key=log_key
+        )
+        exit_code = _report_sampled(args, workload, configs, results, trace_cache)
+    _emit_telemetry(args, [])
+    return exit_code
+
+
+def _report_sampled(args, workload, configs, results, trace_cache) -> int:
+    """Print the sampled-run readout; returns the process exit code."""
+    with telemetry.span("report"):
+        print(f"{workload.name} on {args.cores} cores — {workload.description}")
+        coverage = results[0].coverage
+        print(
+            f"Sampled simulation: {coverage.intervals} intervals × "
+            f"{coverage.interval_size:,} accesses, {coverage.clusters} "
+            f"cluster(s), {coverage.simulated_fraction:.1%} of the stream "
+            "emulated"
+            + (", fingerprints cached" if coverage.fingerprint_cached else "")
+        )
+        print(
+            render_series_table(
+                "LLC size",
+                [format_size(config.cache_size) for config in configs],
+                {workload.name: [result.mpki.value for result in results]},
+                title=f"LLC MPKI ({args.line}B lines, one captured trace)",
+                errors={workload.name: [result.mpki.error for result in results]},
+                sampled=True,
+            )
+        )
+        for config, result in zip(configs, results):
+            print(
+                f"  {format_size(config.cache_size):>10}: "
+                f"misses {format(result.misses, ',.0f')}, "
+                f"miss ratio {format(result.miss_ratio, '.4f')}"
+            )
+        if trace_cache is not None:
+            print(
+                f"  trace cache          : {trace_cache.stats.describe()} "
+                f"({trace_cache.root})"
+            )
+    return 0
 
 
 def _report(

@@ -20,6 +20,12 @@ class SweepFigure:
     axis_values: tuple[int, ...]
     series: dict[str, tuple[float, ...]]
     knees: dict[str, int | None]
+    #: True when the series came from sampled simulation — rendering and
+    #: CSV export label the exhibit so estimates are never mistaken for
+    #: exact measurements.
+    sampled: bool = False
+    #: Per-series error bars (same shape as ``series``) for sampled data.
+    errors: dict[str, tuple[float, ...]] | None = None
 
     def render(self) -> str:
         return render_series_table(
@@ -27,6 +33,12 @@ class SweepFigure:
             [format_size(v) for v in self.axis_values],
             {name: list(values) for name, values in self.series.items()},
             title=self.title,
+            errors=(
+                {name: list(values) for name, values in self.errors.items()}
+                if self.errors
+                else None
+            ),
+            sampled=self.sampled,
         )
 
 

@@ -108,12 +108,29 @@ def render_series_table(
     series: dict[str, Sequence[float]],
     title: str = "",
     value_format: str = "{:.2f}",
+    errors: dict[str, Sequence[float]] | None = None,
+    sampled: bool = False,
 ) -> str:
-    """Render one row per series over a swept axis, with sparklines."""
+    """Render one row per series over a swept axis, with sparklines.
+
+    ``errors`` attaches an error bar to each value (rendered ``v±e``);
+    ``sampled`` suffixes the title with ``[sampled]`` so estimates from
+    sampled simulation are never mistaken for exact measurements.
+    """
+    if sampled and title:
+        title = f"{title} [sampled]"
+    elif sampled:
+        title = "[sampled]"
     headers = [axis_label, *axis_values, "shape"]
     rows = []
     for name, values in series.items():
-        rows.append(
-            [name, *(value_format.format(v) for v in values), sparkline(list(values))]
-        )
+        bars = (errors or {}).get(name)
+        if bars is not None:
+            cells = [
+                f"{value_format.format(v)}±{value_format.format(e)}"
+                for v, e in zip(values, bars)
+            ]
+        else:
+            cells = [value_format.format(v) for v in values]
+        rows.append([name, *cells, sparkline(list(values))])
     return render_table(headers, rows, title=title)

@@ -78,6 +78,14 @@ def main(argv: list[str] | None = None) -> int:
         help="reuse captured co-simulation traces across runs via the "
         "content-addressed cache in DIR (default: $REPRO_TRACE_CACHE)",
     )
+    parser.add_argument(
+        "--sample",
+        metavar="INTERVAL[,MAXK]",
+        default=None,
+        help="run the co-simulated exhibits through sampled simulation "
+        "(representative intervals only); their tables are labelled "
+        "[sampled] and carry error bars",
+    )
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument(
         "--strict",
@@ -195,6 +203,11 @@ def _run(args: argparse.Namespace) -> int:
 
     trace_cache = resolve_trace_cache(args.trace_cache)
     fault_spec = parse_fault_spec(args.inject)
+    sample_spec = None
+    if args.sample is not None:
+        from repro.simpoint import parse_sample_spec
+
+        sample_spec = parse_sample_spec(args.sample)
     journal_path = args.journal or (".repro-runall.jsonl" if args.resume else None)
     journal = (
         SweepJournal(journal_path, resume=args.resume) if journal_path else None
@@ -220,8 +233,14 @@ def _run(args: argparse.Namespace) -> int:
                 # Exact-path exhibits accept the trace cache; the
                 # closed-form model exhibits have nothing to cache and
                 # don't take the knob.
-                if "trace_cache" in inspect.signature(exhibit.main).parameters:
+                parameters = inspect.signature(exhibit.main).parameters
+                if "trace_cache" in parameters:
                     kwargs["trace_cache"] = trace_cache
+                # Sampled simulation only reaches the exhibits that
+                # co-simulate; the closed-form model exhibits have no
+                # stream to sample and don't take the knob.
+                if sample_spec is not None and "sample" in parameters:
+                    kwargs["sample"] = sample_spec
                 try:
                     with telemetry.span(name):
                         exhibit.main(**kwargs)

@@ -1,0 +1,50 @@
+"""Sampled simulation: representative-interval selection (SimPoint-style).
+
+The paper simulates 15-357 *billion* instructions per workload; the
+exact co-simulation path replays every captured access.  This package
+closes the scale gap the way the phase-classification literature does:
+slice the captured stream into fixed-size intervals, fingerprint each
+interval's memory behaviour (reuse-distance histogram, windowed
+footprint, per-core sharing mix, read fraction), cluster the
+fingerprints with a deterministic seeded k-means, simulate only one
+representative interval per cluster through the batched emulator path,
+and recombine the per-representative statistics with cluster weights —
+with per-metric error bars quantifying what the shortcut cost.
+
+Entry points:
+
+* :func:`~repro.simpoint.engine.sampled_sweep` — one captured
+  :class:`~repro.harness.replay.ReplayLog`, N cache configurations,
+  one fingerprint+clustering pass shared by all of them;
+* :func:`~repro.simpoint.engine.parse_sample_spec` — the
+  ``--sample INTERVAL[,MAXK]`` CLI syntax;
+* :mod:`repro.simpoint.validate` — the sampled-versus-exact MPKI
+  validation table (``python -m repro.simpoint.validate``).
+"""
+
+from repro.simpoint.cluster import Clustering, cluster_intervals
+from repro.simpoint.engine import (
+    MetricEstimate,
+    SampleCoverage,
+    SampledCoSimResult,
+    SampleSpec,
+    parse_sample_spec,
+    sampled_sweep,
+)
+from repro.simpoint.fingerprint import FingerprintConfig, IntervalFingerprints
+from repro.simpoint.intervals import interval_bounds, slice_progress
+
+__all__ = [
+    "Clustering",
+    "FingerprintConfig",
+    "IntervalFingerprints",
+    "MetricEstimate",
+    "SampleCoverage",
+    "SampleSpec",
+    "SampledCoSimResult",
+    "cluster_intervals",
+    "interval_bounds",
+    "parse_sample_spec",
+    "sampled_sweep",
+    "slice_progress",
+]

@@ -1,0 +1,168 @@
+"""Deterministic seeded k-means with BIC model selection.
+
+The SimPoint recipe: cluster interval fingerprints with k-means for
+every k up to ``max_k``, score each clustering with the Bayesian
+Information Criterion under a spherical-Gaussian likelihood, and pick
+the smallest k whose score reaches a fixed fraction of the best — the
+elbow, found without eyeballing.
+
+Everything is numpy and fully deterministic for a given seed: k-means++
+initialization draws from ``np.random.default_rng(seed)``, assignment
+ties break to the lowest cluster index (``argmin``), empty clusters are
+re-seeded with the point farthest from its centroid, and the
+representative of each cluster is the member closest to the centroid
+(ties to the lowest interval index).  Two runs with the same inputs
+produce identical clusters, representatives, and therefore identical
+recombined statistics — the determinism contract ``tests/
+test_simpoint.py`` pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Pick the smallest k whose normalized BIC reaches this fraction of
+#: the best score (the SimPoint paper's threshold).
+BIC_THRESHOLD = 0.9
+
+#: Lloyd-iteration cap; small fingerprint sets converge far earlier.
+MAX_ITERATIONS = 64
+
+
+@dataclass(frozen=True)
+class Clustering:
+    """One clustering of the interval fingerprints."""
+
+    k: int
+    #: Cluster id of every interval (int64, len = intervals).
+    labels: np.ndarray
+    #: Cluster centroids, row per cluster.
+    centroids: np.ndarray
+    #: Representative interval index of each cluster (member closest to
+    #: the centroid), ordered by cluster id.
+    representatives: tuple[int, ...]
+    #: Sum of squared distances to assigned centroids.
+    inertia: float
+    #: BIC score of every candidate k (index 0 → k=1).
+    bic_scores: tuple[float, ...]
+
+
+def _squared_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances (points × centroids)."""
+    diff = points[:, None, :] - centroids[None, :, :]
+    return np.einsum("ijk,ijk->ij", diff, diff)
+
+
+def _kmeans_once(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """One seeded k-means++ run; returns (labels, centroids, inertia)."""
+    n = len(points)
+    centroids = np.empty((k, points.shape[1]), dtype=np.float64)
+    centroids[0] = points[int(rng.integers(n))]
+    closest = _squared_distances(points, centroids[:1]).min(axis=1)
+    for j in range(1, k):
+        total = float(closest.sum())
+        if total <= 0.0:
+            centroids[j] = points[int(rng.integers(n))]
+        else:
+            # k-means++: next seed drawn proportional to D^2.
+            target = float(rng.random()) * total
+            index = int(np.searchsorted(np.cumsum(closest), target))
+            centroids[j] = points[min(index, n - 1)]
+        closest = np.minimum(
+            closest, _squared_distances(points, centroids[j : j + 1]).min(axis=1)
+        )
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(MAX_ITERATIONS):
+        distances = _squared_distances(points, centroids)
+        new_labels = distances.argmin(axis=1)
+        for j in range(k):
+            members = new_labels == j
+            if members.any():
+                centroids[j] = points[members].mean(axis=0)
+            else:
+                # Re-seed an emptied cluster with the worst-fit point.
+                farthest = int(distances[np.arange(n), new_labels].argmax())
+                centroids[j] = points[farthest]
+                new_labels[farthest] = j
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+    inertia = float(
+        _squared_distances(points, centroids)[np.arange(n), labels].sum()
+    )
+    return labels, centroids, inertia
+
+
+def _bic(points: np.ndarray, labels: np.ndarray, k: int, inertia: float) -> float:
+    """Spherical-Gaussian BIC of one clustering (x-means formulation)."""
+    n, dims = points.shape
+    if n <= k:
+        return -np.inf
+    variance = max(inertia / (dims * (n - k)), 1e-12)
+    sizes = np.bincount(labels, minlength=k).astype(np.float64)
+    sizes = sizes[sizes > 0]
+    log_likelihood = float(
+        (sizes * np.log(sizes)).sum()
+        - n * np.log(n)
+        - n * dims / 2.0 * np.log(2.0 * np.pi * variance)
+        - dims * (n - k) / 2.0
+    )
+    parameters = k * (dims + 1)
+    return log_likelihood - parameters / 2.0 * np.log(n)
+
+
+def cluster_intervals(
+    features: np.ndarray, max_k: int = 8, seed: int = 0
+) -> Clustering:
+    """Cluster fingerprints, selecting k by the BIC-elbow rule.
+
+    Runs k-means for every k in ``1..min(max_k, intervals)`` from one
+    seeded generator, normalizes the BIC scores to [0, 1], and keeps
+    the smallest k scoring at least :data:`BIC_THRESHOLD` — small
+    cluster counts are the whole point: each extra cluster is another
+    full emulator replay per configuration.
+    """
+    points = np.asarray(features, dtype=np.float64)
+    n = len(points)
+    rng = np.random.default_rng(seed)
+    candidates: list[tuple[np.ndarray, np.ndarray, float]] = []
+    scores: list[float] = []
+    for k in range(1, min(max_k, n) + 1):
+        labels, centroids, inertia = _kmeans_once(points, k, rng)
+        candidates.append((labels, centroids, inertia))
+        scores.append(_bic(points, labels, k, inertia))
+    finite = [s for s in scores if np.isfinite(s)]
+    low, high = (min(finite), max(finite)) if finite else (0.0, 0.0)
+    if high - low <= 0.0:
+        chosen = 0
+    else:
+        normalized = [
+            (s - low) / (high - low) if np.isfinite(s) else -1.0 for s in scores
+        ]
+        chosen = next(
+            i for i, score in enumerate(normalized) if score >= BIC_THRESHOLD
+        )
+    labels, centroids, inertia = candidates[chosen]
+    k = chosen + 1
+    representatives = []
+    distances = _squared_distances(points, centroids)
+    for j in range(k):
+        members = np.flatnonzero(labels == j)
+        if len(members):
+            representatives.append(int(members[distances[members, j].argmin()]))
+        else:
+            # A cluster emptied on the final assignment; represent it by
+            # the globally closest point so downstream weights stay total.
+            representatives.append(int(distances[:, j].argmin()))
+    return Clustering(
+        k=k,
+        labels=labels,
+        centroids=centroids,
+        representatives=tuple(representatives),
+        inertia=inertia,
+        bic_scores=tuple(float(s) for s in scores),
+    )

@@ -1,0 +1,90 @@
+"""Fixed-size interval slicing of a captured replay log.
+
+An *interval* is a contiguous run of in-window data accesses; every
+interval has exactly ``interval`` accesses except the last, which takes
+the remainder.  The slicing helpers here are what let one captured
+:class:`~repro.harness.replay.ReplayLog` be replayed piecewise: the
+progress table (instruction/cycle counters driving the 500 µs window
+sampler) is a cumulative step function over access offsets, so a slice
+of it rebases both the offsets and the counters to the interval's start.
+
+The degenerate single-interval case returns the full table unchanged —
+the property the bit-identity guarantee of the sampled path rests on
+(``tests/test_simpoint.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SamplingError
+
+
+def interval_bounds(total_accesses: int, interval: int) -> np.ndarray:
+    """Interval boundaries ``[0, I, 2I, ..., total]`` as int64.
+
+    ``len(bounds) - 1`` intervals; the last one holds the remainder
+    (never empty).  Raises :class:`SamplingError` for a non-positive
+    interval or an empty stream — there is nothing to sample.
+    """
+    if interval <= 0:
+        raise SamplingError(f"interval must be positive, got {interval}")
+    if total_accesses <= 0:
+        raise SamplingError("cannot sample an empty access stream")
+    bounds = np.arange(0, total_accesses, interval, dtype=np.int64)
+    return np.append(bounds, np.int64(total_accesses))
+
+
+def slice_progress(table: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    """Rebase the progress rows that land inside the interval ``[lo, hi)``.
+
+    ``table`` is the ``(offset, instructions, cycles)`` array from
+    :meth:`~repro.harness.replay.ReplayLog.progress_table`.  A row with
+    ``offset == lo`` arrived *before* the interval's first access and
+    belongs to the previous interval — except at ``lo == 0``, where
+    offset-0 rows (progress before any data) open the session exactly as
+    the full replay sees them.  Offsets shift by ``-lo``; instruction
+    and cycle counters subtract the last row at or before ``lo`` (the
+    value of the step function where the interval starts).
+    """
+    table = np.asarray(table, dtype=np.int64).reshape(-1, 3)
+    if lo == 0 and hi >= (int(table[-1, 0]) if len(table) else 0):
+        return table
+    offsets = table[:, 0]
+    if lo == 0:
+        mask = offsets <= hi
+        base_instructions = 0
+        base_cycles = 0
+    else:
+        mask = (offsets > lo) & (offsets <= hi)
+        before = int(np.searchsorted(offsets, lo, side="right")) - 1
+        base_instructions = int(table[before, 1]) if before >= 0 else 0
+        base_cycles = int(table[before, 2]) if before >= 0 else 0
+    sliced = table[mask].copy()
+    sliced[:, 0] -= lo
+    sliced[:, 1] -= base_instructions
+    sliced[:, 2] -= base_cycles
+    return sliced
+
+
+def interval_instructions(
+    table: np.ndarray, bounds: np.ndarray, total_instructions: int
+) -> np.ndarray:
+    """Retired instructions attributed to each interval (int64, per interval).
+
+    The counter is a step function of the access offset; interval ``i``
+    gets the step value at ``bounds[i+1]`` minus the value at
+    ``bounds[i]``.  The final interval is topped up to
+    ``total_instructions`` so the per-interval counts always sum to the
+    log's exact total (a trailing INSTRUCTIONS_RETIRED message may have
+    no following progress row).
+    """
+    table = np.asarray(table, dtype=np.int64).reshape(-1, 3)
+    bounds = np.asarray(bounds, dtype=np.int64)
+    if not len(table):
+        steps = np.zeros(len(bounds), dtype=np.int64)
+    else:
+        indices = np.searchsorted(table[:, 0], bounds, side="right") - 1
+        steps = np.where(indices >= 0, table[np.maximum(indices, 0), 1], 0)
+    steps[-1] = total_instructions
+    return np.diff(steps)

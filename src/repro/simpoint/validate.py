@@ -1,0 +1,268 @@
+"""Validation table: sampled simulation versus the exact replay path.
+
+Sampled simulation trades exactness for speed; this module measures the
+trade on long synthetic traces.  For each (workload × LLC geometry)
+cell it runs the same captured stream through both paths and reports
+the sampled MPKI estimate, the exact MPKI, the relative error, and
+whether the estimate's error bar brackets the exact value.
+
+Run it as a script for the standard table (FIMI, SHOT, and MDS over
+1 MB / 8 MB / 32 MB LLCs on long repeated streams)::
+
+    PYTHONPATH=src python -m repro.simpoint.validate
+
+CI pins the accuracy bar with the assertion flags::
+
+    python -m repro.simpoint.validate --workloads FIMI --sizes 1,32 \\
+        --assert-max-rel 0.05 --assert-brackets
+
+Geometry caveat: configurations whose capacity sits right at a
+workload's footprint knee stress the cold-start correction's uniform
+set-mapping assumption (see ``docs/architecture.md``); the standard
+table keeps its geometries away from the knee, and the error bars at
+knee geometries widen to stay honest rather than confidently wrong.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.harness.replay import (
+    load_or_capture,
+    log_cache_key,
+    replay,
+    size_sweep_configs,
+)
+from repro.harness.report import render_table
+from repro.simpoint.engine import MetricEstimate, SampleSpec, sampled_sweep
+from repro.units import MB
+from repro.workloads.registry import get_workload
+
+if TYPE_CHECKING:
+    from repro.trace.cache import TraceCache
+
+DEFAULT_WORKLOADS = ("FIMI", "SHOT", "MDS")
+DEFAULT_SIZES_MB = (1, 8, 32)
+DEFAULT_PER_THREAD = 65536
+DEFAULT_REPEATS = 8
+DEFAULT_CORES = 4
+DEFAULT_INTERVAL = 32768
+DEFAULT_MAX_K = 6
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One (workload × geometry) cell of the sampled-vs-exact table."""
+
+    workload: str
+    cache_size: int
+    exact_mpki: float
+    sampled_mpki: MetricEstimate
+
+    @property
+    def rel_error(self) -> float:
+        """Relative error of the sampled estimate against exact MPKI."""
+        if self.exact_mpki == 0.0:
+            return 0.0 if self.sampled_mpki.value == 0.0 else float("inf")
+        return abs(self.sampled_mpki.value - self.exact_mpki) / self.exact_mpki
+
+    @property
+    def brackets(self) -> bool:
+        """True when the error bar contains the exact value."""
+        return self.sampled_mpki.brackets(self.exact_mpki)
+
+
+def validate(
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    cache_sizes: Sequence[int] = tuple(s * MB for s in DEFAULT_SIZES_MB),
+    spec: SampleSpec | None = None,
+    accesses_per_thread: int = DEFAULT_PER_THREAD,
+    repeats: int = DEFAULT_REPEATS,
+    cores: int = DEFAULT_CORES,
+    trace_cache: "TraceCache | None" = None,
+) -> list[ValidationRow]:
+    """Run every (workload × geometry) cell through both paths.
+
+    One capture per workload; the exact path replays the full stream
+    per geometry, the sampled path goes through
+    :func:`~repro.simpoint.engine.sampled_sweep` on the same log, so
+    the two columns measure the same traffic.
+    """
+    spec = spec or SampleSpec(interval=DEFAULT_INTERVAL, max_k=DEFAULT_MAX_K)
+    configs = size_sweep_configs(list(cache_sizes))
+    rows: list[ValidationRow] = []
+    for name in workloads:
+        workload = get_workload(name)
+        guest = workload.synthetic_guest(
+            accesses_per_thread=accesses_per_thread, scale=1.0, repeats=repeats
+        )
+        key_extra = {
+            "source": "synthetic",
+            "accesses_per_thread": accesses_per_thread,
+            "scale": 1.0,
+            "seed": 0,
+        }
+        if repeats != 1:
+            key_extra["repeats"] = repeats
+        log, _ = load_or_capture(
+            guest, cores, trace_cache=trace_cache, key_extra=key_extra
+        )
+        log_key = (
+            log_cache_key(guest.name, cores, 4096, 8192, key_extra)
+            if trace_cache is not None
+            else None
+        )
+        sampled = sampled_sweep(
+            log, configs, spec, trace_cache=trace_cache, log_key=log_key
+        )
+        for config, estimate in zip(configs, sampled):
+            exact = replay(log, config)
+            rows.append(
+                ValidationRow(
+                    workload=name,
+                    cache_size=config.cache_size,
+                    exact_mpki=exact.mpki,
+                    sampled_mpki=estimate.mpki,
+                )
+            )
+    return rows
+
+
+def render_validation(rows: Sequence[ValidationRow]) -> str:
+    """The sampled-vs-exact table as aligned ASCII."""
+    return render_table(
+        ["workload", "LLC", "exact MPKI", "sampled MPKI", "rel error", "brackets"],
+        [
+            (
+                row.workload,
+                f"{row.cache_size // MB}MB",
+                f"{row.exact_mpki:.3f}",
+                f"{row.sampled_mpki:.3f}",
+                f"{100 * row.rel_error:.2f}%",
+                "yes" if row.brackets else "NO",
+            )
+            for row in rows
+        ],
+        title="Sampled simulation validation (sampled vs exact replay)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Command-line interface of ``python -m repro.simpoint.validate``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.simpoint.validate",
+        description="Validate sampled simulation against the exact replay path.",
+    )
+    parser.add_argument(
+        "--workloads",
+        default=",".join(DEFAULT_WORKLOADS),
+        help="comma-separated workload names (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--sizes",
+        default=",".join(str(s) for s in DEFAULT_SIZES_MB),
+        help="comma-separated LLC sizes in MB (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--per-thread",
+        type=int,
+        default=DEFAULT_PER_THREAD,
+        help="synthetic accesses per thread before repetition "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=DEFAULT_REPEATS,
+        help="long-stream scaling: repetitions of each thread trace "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        default=DEFAULT_CORES,
+        help="emulated cores (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=int,
+        default=DEFAULT_INTERVAL,
+        help="sampling interval in accesses (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-k",
+        type=int,
+        default=DEFAULT_MAX_K,
+        help="cluster-count ceiling for interval clustering "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--trace-cache",
+        metavar="DIR",
+        default=None,
+        help="reuse captured traces via the content-addressed cache in "
+        "DIR (default: $REPRO_TRACE_CACHE)",
+    )
+    parser.add_argument(
+        "--assert-max-rel",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="exit nonzero if any cell's relative MPKI error exceeds "
+        "FRACTION (e.g. 0.05)",
+    )
+    parser.add_argument(
+        "--assert-brackets",
+        action="store_true",
+        help="exit nonzero if any cell's error bar fails to bracket "
+        "the exact MPKI",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Print the validation table; apply the assertion flags for CI."""
+    from repro.trace.cache import resolve_trace_cache
+
+    args = build_parser().parse_args(argv)
+    rows = validate(
+        workloads=tuple(w.strip() for w in args.workloads.split(",") if w.strip()),
+        cache_sizes=tuple(
+            int(s.strip()) * MB for s in args.sizes.split(",") if s.strip()
+        ),
+        spec=SampleSpec(interval=args.interval, max_k=args.max_k),
+        accesses_per_thread=args.per_thread,
+        repeats=args.repeats,
+        cores=args.cores,
+        trace_cache=resolve_trace_cache(args.trace_cache),
+    )
+    print(render_validation(rows))
+    worst = max(rows, key=lambda row: row.rel_error)
+    print(
+        f"max relative MPKI error: {100 * worst.rel_error:.2f}% "
+        f"({worst.workload} @ {worst.cache_size // MB}MB)"
+    )
+    status = 0
+    if args.assert_max_rel is not None and worst.rel_error > args.assert_max_rel:
+        print(
+            f"FAIL: relative error {100 * worst.rel_error:.2f}% exceeds "
+            f"the {100 * args.assert_max_rel:.2f}% bound"
+        )
+        status = 1
+    if args.assert_brackets:
+        misses = [row for row in rows if not row.brackets]
+        for row in misses:
+            print(
+                f"FAIL: {row.workload} @ {row.cache_size // MB}MB error bar "
+                f"{row.sampled_mpki} does not bracket exact "
+                f"{row.exact_mpki:.3f}"
+            )
+        if misses:
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

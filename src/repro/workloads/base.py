@@ -47,6 +47,17 @@ PRIVATE_THREAD_SPACING = 0x4000_0000
 KernelFunction = Callable[[TraceRecorder, MemoryArena], object]
 
 
+def _validate_repeats(repeats: int) -> None:
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+
+
+def _repeated_stream(trace: TraceChunk, repeats: int) -> Iterator[TraceChunk]:
+    """Stream ``trace`` end to end ``repeats`` times (lazy, no copies)."""
+    for _ in range(repeats):
+        yield from chunk_stream(trace)
+
+
 @dataclass(frozen=True)
 class KernelRun:
     """Result of one instrumented kernel execution."""
@@ -99,12 +110,21 @@ class Workload:
         # Categories A and B share the primary structure: same addresses.
         return SHARED_ARENA_BASE
 
-    def kernel_guest(self, threads: int = 1, seed: int = 0) -> GuestWorkload:
-        """A :class:`GuestWorkload` backed by real per-thread kernel traces."""
+    def kernel_guest(
+        self, threads: int = 1, seed: int = 0, repeats: int = 1
+    ) -> GuestWorkload:
+        """A :class:`GuestWorkload` backed by real per-thread kernel traces.
+
+        ``repeats`` replays each thread's kernel trace that many times
+        back to back — the long-stream scaling knob sampled simulation
+        needs to exercise traces orders of magnitude beyond one kernel
+        invocation without paying for extra kernel runs.
+        """
+        _validate_repeats(repeats)
 
         def thread_streams(n: int) -> list:
             runs = [self.run_kernel(t, n, seed) for t in range(n)]
-            return [chunk_stream(r.trace) for r in runs]
+            return [_repeated_stream(r.trace, repeats) for r in runs]
 
         return GuestWorkload(
             name=self.name,
@@ -218,13 +238,21 @@ class Workload:
         accesses_per_thread: int = 65536,
         scale: float = 1 / 256,
         seed: int = 0,
+        repeats: int = 1,
     ) -> GuestWorkload:
-        """A :class:`GuestWorkload` backed by model-shaped synthetic traces."""
+        """A :class:`GuestWorkload` backed by model-shaped synthetic traces.
+
+        ``repeats`` replays each thread's generated trace that many
+        times back to back, scaling the stream length without scaling
+        generation cost.
+        """
+        _validate_repeats(repeats)
 
         def thread_streams(n: int) -> list:
             return [
-                chunk_stream(
-                    self.synthetic_thread_trace(t, n, accesses_per_thread, scale, seed)
+                _repeated_stream(
+                    self.synthetic_thread_trace(t, n, accesses_per_thread, scale, seed),
+                    repeats,
                 )
                 for t in range(n)
             ]

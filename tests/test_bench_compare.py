@@ -1,0 +1,117 @@
+"""Tests for ``scripts/bench_compare.py``.
+
+The history diff must gate only on hot-path metrics both entries hold:
+a benchmark (or metric) present in one entry is reported as new/removed
+context, never a regression — otherwise every freshly added benchmark
+would fail CI against the history that predates it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "bench_compare.py"
+_spec = importlib.util.spec_from_file_location("bench_compare", _SCRIPT)
+bench_compare = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_compare", bench_compare)
+_spec.loader.exec_module(bench_compare)
+
+
+def _entry(results, hostname="host"):
+    return {"machine": {"hostname": hostname, "timestamp": "t"}, "results": results}
+
+
+def _history(path, *entries):
+    path.write_text(json.dumps({"format": 2, "entries": list(entries)}))
+    return path
+
+
+class TestCompare:
+    def test_benchmark_only_in_new_entry_is_not_a_regression(self):
+        base = _entry({"replay_engine": {"speedup": 6.0}})
+        new = _entry(
+            {
+                "replay_engine": {"speedup": 6.1},
+                "cosim_sampled": {"speedup": 30.0, "max_rel_mpki_error": 0.01},
+            }
+        )
+        lines, status = bench_compare.compare(base, new, threshold=0.10)
+        assert status == 0
+        assert any("cosim_sampled: new" in line for line in lines)
+
+    def test_benchmark_only_in_base_entry_reports_removed(self):
+        base = _entry({"olken": {"accesses_per_second": 1e6}})
+        new = _entry({})
+        lines, status = bench_compare.compare(base, new, threshold=0.10)
+        assert status == 0
+        assert any("olken: removed" in line for line in lines)
+
+    def test_metric_only_in_one_entry_is_labelled_not_gated(self):
+        base = _entry({"replay_engine": {"speedup": 6.0, "old_metric": 1.0}})
+        new = _entry({"replay_engine": {"speedup": 6.0, "warm_seconds": 0.5}})
+        lines, status = bench_compare.compare(base, new, threshold=0.10)
+        assert status == 0
+        joined = "\n".join(lines)
+        assert "warm_seconds" in joined and "new" in joined
+        assert "old_metric" in joined and "removed" in joined
+
+    def test_non_dict_results_are_tolerated(self):
+        base = _entry({"replay_engine": "corrupt"})
+        new = _entry({"replay_engine": {"speedup": 6.0}})
+        lines, status = bench_compare.compare(base, new, threshold=0.10)
+        assert status == 0
+        assert any("replay_engine" in line for line in lines)
+
+    def test_shared_hot_path_regression_still_gates(self):
+        base = _entry({"replay_engine": {"speedup": 6.0}})
+        new = _entry({"replay_engine": {"speedup": 4.0}})
+        lines, status = bench_compare.compare(base, new, threshold=0.10)
+        assert status == 1
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_lower_is_better_for_seconds(self):
+        base = _entry({"replay_engine": {"engine_seconds": 1.0}})
+        new = _entry({"replay_engine": {"engine_seconds": 2.0}})
+        _, status = bench_compare.compare(base, new, threshold=0.10)
+        assert status == 1
+
+    def test_context_metrics_never_gate(self):
+        base = _entry({"replay_engine": {"accesses": 100, "cores": 4}})
+        new = _entry({"replay_engine": {"accesses": 5, "cores": 2}})
+        _, status = bench_compare.compare(base, new, threshold=0.10)
+        assert status == 0
+
+
+class TestMain:
+    def test_diffs_last_two_entries(self, tmp_path, capsys):
+        path = _history(
+            tmp_path / "BENCH.json",
+            _entry({"replay_engine": {"speedup": 6.0}}),
+            _entry({"replay_engine": {"speedup": 6.2}}),
+        )
+        assert bench_compare.main(["--file", str(path)]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_single_entry_is_an_error(self, tmp_path, capsys):
+        path = _history(
+            tmp_path / "BENCH.json", _entry({"replay_engine": {"speedup": 6.0}})
+        )
+        assert bench_compare.main(["--file", str(path)]) == 2
+
+    def test_new_benchmark_against_old_history_passes(self, tmp_path):
+        path = _history(
+            tmp_path / "BENCH.json",
+            _entry({"replay_engine": {"speedup": 6.0}}),
+            _entry(
+                {
+                    "replay_engine": {"speedup": 6.0},
+                    "cosim_sampled": {"speedup": 30.55},
+                }
+            ),
+        )
+        assert bench_compare.main(["--file", str(path)]) == 0

@@ -64,6 +64,57 @@ class TestRunAllCLI:
         assert (tmp_path / "out" / "fig7.csv").exists()
 
 
+class TestSampledExport:
+    def _figure(self):
+        from repro.harness.figures import SweepFigure
+
+        return SweepFigure(
+            title="Sampled sweep",
+            axis_label="LLC size",
+            axis_values=(1 << 20, 2 << 20),
+            series={"FIMI": (3.4, 0.4)},
+            knees={"FIMI": None},
+            sampled=True,
+            errors={"FIMI": (0.15, 0.03)},
+        )
+
+    def test_sampled_csv_appends_flag_and_error_columns(self, tmp_path):
+        path = tmp_path / "sampled.csv"
+        export.write_sweep_csv(self._figure(), path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        # Positional compatibility: workload + value columns first, the
+        # sampled flag and error columns strictly after.
+        assert rows[0][:3] == ["workload", "1MB", "2MB"]
+        assert rows[0][3:] == ["sampled", "err:1MB", "err:2MB"]
+        assert rows[1][:3] == ["FIMI", "3.4", "0.4"]
+        assert rows[1][3] == "1"
+        assert [float(cell) for cell in rows[1][4:]] == [0.15, 0.03]
+
+    def test_exact_csv_has_no_sampled_columns(self, tmp_path):
+        from repro.harness import fig4
+
+        path = tmp_path / "fig4.csv"
+        export.write_sweep_csv(fig4.generate(), path)
+        with open(path) as handle:
+            header = next(csv.reader(handle))
+        assert "sampled" not in header
+
+    def test_render_labels_sampled_and_attaches_bars(self):
+        rendered = self._figure().render()
+        assert "[sampled]" in rendered
+        assert "3.40±0.15" in rendered
+
+    def test_series_table_errors_without_sampled_flag(self):
+        from repro.harness.report import render_series_table
+
+        rendered = render_series_table(
+            "axis", ["a"], {"s": [1.0]}, title="T", errors={"s": [0.5]}
+        )
+        assert "1.00±0.50" in rendered
+        assert "[sampled]" not in rendered
+
+
 class TestDescribe:
     def test_model_card_contents(self):
         card = describe.describe("SHOT")

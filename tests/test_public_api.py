@@ -88,6 +88,12 @@ PUBLIC_MODULES = [
     "repro.harness.replay",
     "repro.harness.supervisor",
     "repro.trace.cache",
+    "repro.simpoint",
+    "repro.simpoint.intervals",
+    "repro.simpoint.fingerprint",
+    "repro.simpoint.cluster",
+    "repro.simpoint.engine",
+    "repro.simpoint.validate",
     "repro.faults.spec",
     "repro.faults.report",
     "repro.faults.injector",
