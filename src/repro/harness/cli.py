@@ -52,6 +52,7 @@ from repro.harness.report import (
     render_series_table,
 )
 from repro.simpoint import parse_sample_spec, sampled_sweep
+from repro.harness.executors.base import EXECUTOR_NAMES, FabricConfig
 from repro.harness.supervisor import SupervisorPolicy, SweepJournal, supervise
 from repro.telemetry import profile as profiling
 from repro.telemetry import runtime as telemetry
@@ -131,6 +132,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="worker processes for a multi-size sweep (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_NAMES),
+        default="pool",
+        help="where sweep points execute: 'pool' (in-process worker "
+        "pool), 'shard' (independent work-stealing worker processes "
+        "coordinating through a lease ledger), or 'remote' (the same "
+        "ledger workers launched via a command template); ledger "
+        "backends survive SIGKILLed workers (default: pool)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker count for the ledger executors (default: 2)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="seconds a fabric worker's claim on a point stays "
+        "exclusive without a heartbeat; after expiry any worker may "
+        "steal the point (default: 30)",
     )
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument(
@@ -240,6 +267,24 @@ def telemetry_requested(args: argparse.Namespace) -> bool:
     return bool(args.telemetry) or bool(args.metrics_file) or bool(args.profile)
 
 
+def build_fabric_config(args: argparse.Namespace) -> FabricConfig | None:
+    """The sweep-fabric shape from CLI flags; None in ``pool`` mode.
+
+    Shared by ``repro-cosim`` and ``repro-runall``: both expose the
+    same ``--executor``/``--shards``/``--lease-ttl`` triple, and in
+    fabric mode both reuse ``--journal`` as the shared ledger path.
+    """
+    if args.executor == "pool":
+        return None
+    return FabricConfig(
+        backend=args.executor,
+        shards=args.shards,
+        lease_ttl=args.lease_ttl,
+        ledger_path=args.journal,
+        resume=args.resume,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run one co-simulation (or a cache-size sweep) and print its readout."""
     args = build_parser().parse_args(argv)
@@ -298,7 +343,15 @@ def _main(args: argparse.Namespace) -> int:
 
     audit_mode = resolve_audit_mode(args.audit)
     policy = SupervisorPolicy(timeout=args.timeout, retries=args.retries)
-    journal = SweepJournal(args.journal, resume=args.resume) if args.journal else None
+    fabric = build_fabric_config(args)
+    # In fabric mode the ledger *is* the journal (same v3 format, same
+    # --journal path, resumable either way) — opening it twice would
+    # race the workers' appends.
+    journal = (
+        SweepJournal(args.journal, resume=args.resume)
+        if args.journal and fabric is None
+        else None
+    )
     with telemetry.span("run"):
         try:
             with supervise(
@@ -306,6 +359,7 @@ def _main(args: argparse.Namespace) -> int:
                 journal=journal,
                 fault_spec=fault_spec,
                 checkpoint_dir=args.checkpoint_dir,
+                fabric=fabric,
             ) as ctx:
                 results = replay_sweep(
                     guest,
@@ -363,6 +417,8 @@ def _main_sampled(args, workload, guest, configs, key_extra, trace_cache) -> int
     for flag, attribute in _SAMPLE_CONFLICTS:
         if getattr(args, attribute):
             build_parser().error(f"--sample cannot be combined with {flag}")
+    if args.executor != "pool":
+        build_parser().error("--sample cannot be combined with --executor")
     try:
         spec = parse_sample_spec(args.sample)
     except SamplingError as error:

@@ -1,0 +1,250 @@
+"""The ``Executor`` protocol and the fabric configuration.
+
+An executor backend owns *where* sweep points run; the supervisor (for
+the ``pool`` backend) or the fabric driver (for the ledger backends)
+owns *what happens around them* — retries, journaling, quarantine,
+reporting.  The protocol is four verbs:
+
+``submit``
+    Hand one prepared point to the backend.  The local pool starts it
+    on a worker immediately; ledger backends append it to the shared
+    manifest for any worker to claim.
+``poll``
+    Block up to a timeout and return what changed: completed points,
+    failed attempts, crashed workers, lease activity.
+``liveness``
+    Report each worker's vital signs (process aliveness plus, for
+    ledger workers, the age of their last heartbeat) so the driver can
+    respawn the dead and export a heartbeat-age gauge.
+``cancel``
+    Drain the backend: SIGTERM the workers, wait out a grace period,
+    SIGKILL the stragglers.  Safe to call at any time — ledger state
+    survives, and a later run resumes from it.
+
+``respawn`` rounds the protocol out: replace dead capacity without
+disturbing surviving work (for the local pool, which cannot keep
+survivors across a dead worker, it rebuilds the whole pool).
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+#: Executor selector values accepted by ``--executor``.
+EXECUTOR_NAMES = ("pool", "shard", "remote")
+
+#: The subset of backends that coordinate through a lease ledger (and
+#: therefore run through the fabric driver instead of the pool loop).
+FABRIC_BACKENDS = ("shard", "remote")
+
+#: Default command template for the ``remote`` backend.  Placeholders:
+#: ``{python}`` (this interpreter), ``{ledger}`` (the shared ledger
+#: path), ``{worker_id}`` (the worker's identity).  A real SSH or k8s
+#: backend is this template with a transport prefix — the worker-side
+#: contract is identical.
+DEFAULT_WORKER_COMMAND = (
+    "{python} -m repro.harness.executors.worker"
+    " --ledger {ledger} --worker-id {worker_id}"
+)
+
+
+@dataclass(frozen=True)
+class SubmittedPoint:
+    """One grid point, prepared for execution on any backend.
+
+    ``key`` is the point's content key (task identity + canonicalized
+    pickled item — see :meth:`~repro.harness.supervisor.SweepJournal.
+    point_key`); it is what makes re-execution idempotent across
+    workers and runs.  ``fault``/``hang_seconds`` carry a planned
+    harness fault for this attempt, ``checkpoint_path`` a mid-point
+    snapshot location for tasks that advertise ``supports_checkpoint``.
+    """
+
+    index: int
+    task: Callable
+    item: Any
+    key: str | None = None
+    fault: str | None = None
+    hang_seconds: float = 0.0
+    checkpoint_path: str | None = None
+
+
+@dataclass(frozen=True)
+class PointEvent:
+    """One thing that happened on a backend since the last poll.
+
+    Kinds:
+
+    * ``done`` — a point completed; ``value`` holds the result.
+    * ``error`` — an attempt raised; ``error`` holds the exception.
+    * ``crash`` — the worker running the point died; charged like an
+      error (the point was plausibly the killer).
+    * ``lost`` — a point's worker pool collapsed under it through no
+      fault of its own; re-run without charging an attempt.
+    * ``respawn`` — the backend replaced dead capacity on its own.
+
+    Ledger backends add lease-level kinds: ``lease`` (a worker claimed
+    a point), ``steal`` (the claim reclaimed an expired lease),
+    ``failed`` (one recorded attempt raised; ``attempts`` tells the
+    driver whether retries remain), ``quarantined`` (the point killed
+    too many workers; ``value`` lists them), ``verified`` (a racing
+    re-execution matched the recorded result byte-for-byte), and
+    ``conflict`` (it did not — the sweep must fail).
+
+    ``handle`` identifies the in-flight record the driver keyed the
+    point under (the local pool uses the future itself, ledger
+    backends the content key); events that concern no single point
+    (``respawn``) carry ``handle=None``.
+    """
+
+    kind: str
+    handle: Any = None
+    value: Any = None
+    error: BaseException | None = None
+    wall_time_s: float | None = None
+    #: Ledger backends also report which worker produced the event and
+    #: which attempt it was; the local pool leaves these unset.
+    worker: str | None = None
+    attempts: int | None = None
+
+
+@dataclass
+class LivenessReport:
+    """Vital signs of a backend's workers at one instant."""
+
+    #: worker id → alive (process-level: the pid still runs).
+    alive: dict[str, bool] = field(default_factory=dict)
+    #: worker id → seconds since its last ledger heartbeat (ledger
+    #: backends only; the local pool has no heartbeats).
+    heartbeat_age: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def dead(self) -> list[str]:
+        return [wid for wid, ok in self.alive.items() if not ok]
+
+
+class Executor(ABC):
+    """Where sweep points execute.  See the module docstring."""
+
+    #: Backend selector name (``pool`` / ``shard`` / ``remote``).
+    name: str = "?"
+
+    @abstractmethod
+    def submit(self, point: SubmittedPoint) -> Any:
+        """Accept one point; returns the handle ``poll`` events use."""
+
+    @abstractmethod
+    def poll(self, timeout: float | None) -> list[PointEvent]:
+        """Block up to ``timeout`` seconds; return new events."""
+
+    @abstractmethod
+    def liveness(self) -> LivenessReport:
+        """Process aliveness (and heartbeat ages) per worker."""
+
+    @abstractmethod
+    def respawn(self) -> None:
+        """Replace dead capacity; surviving work keeps running where
+        the backend can preserve it."""
+
+    @abstractmethod
+    def cancel(self, grace: float = 5.0) -> None:
+        """Drain: SIGTERM workers, wait ``grace`` seconds, SIGKILL."""
+
+    def close(self) -> None:
+        """Release resources after a clean completion (default: drain)."""
+        self.cancel(grace=0.0)
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """How a ledger-backed sweep fabric is shaped.
+
+    Attributes:
+        backend: ``shard`` (forked workers) or ``remote`` (command-
+            template subprocess workers).
+        shards: target number of live workers; the driver respawns
+            toward this count when workers die.
+        lease_ttl: seconds a claim stays exclusive without a heartbeat;
+            any worker may steal the point after expiry.
+        heartbeat_every: heartbeat period (default ``lease_ttl / 3``).
+        poll_interval: driver/worker ledger re-scan period.
+        quarantine_after: a point whose lease expired under this many
+            *distinct* workers is quarantined as poison instead of
+            being stolen again.
+        ledger_path: the shared ledger file (``--journal`` in the
+            CLIs); None lets the driver place one in a temp directory.
+        resume: load prior ``done`` records instead of truncating.
+        worker_command: ``remote`` backend launch template (see
+            :data:`DEFAULT_WORKER_COMMAND`).
+        grace: drain grace period before SIGKILL.
+        max_respawns: hard ceiling on worker respawns per map, so a
+            fleet that dies instantly (bad interpreter, bad template)
+            fails loudly instead of respawning forever.
+        observer: test/chaos hook, called as ``observer(backend,
+            cycle)`` once per driver poll cycle.
+    """
+
+    backend: str = "shard"
+    shards: int = 2
+    lease_ttl: float = 30.0
+    heartbeat_every: float | None = None
+    poll_interval: float = 0.05
+    quarantine_after: int = 3
+    ledger_path: str | os.PathLike | None = None
+    resume: bool = False
+    worker_command: str = DEFAULT_WORKER_COMMAND
+    grace: float = 5.0
+    max_respawns: int = 64
+    observer: Callable[[Any, int], None] | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in FABRIC_BACKENDS:
+            known = ", ".join(FABRIC_BACKENDS)
+            raise ConfigurationError(
+                f"unknown fabric backend {self.backend!r}; ledger backends: {known}"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.lease_ttl <= 0:
+            raise ConfigurationError(
+                f"lease-ttl must be positive, got {self.lease_ttl}"
+            )
+        if self.quarantine_after < 1:
+            raise ConfigurationError(
+                f"quarantine-after must be >= 1, got {self.quarantine_after}"
+            )
+
+    @property
+    def heartbeat_period(self) -> float:
+        """Effective heartbeat period (a third of the TTL by default)."""
+        return (
+            self.heartbeat_every
+            if self.heartbeat_every is not None
+            else self.lease_ttl / 3.0
+        )
+
+
+def spawn_command(
+    template: str, ledger: str, worker_id: str, python: str
+) -> list[str]:
+    """Expand a worker command template into an argv list."""
+    import shlex
+
+    try:
+        rendered = template.format(
+            python=python, ledger=ledger, worker_id=worker_id
+        )
+    except (KeyError, IndexError) as error:
+        raise ConfigurationError(
+            f"worker command template {template!r} has an unknown "
+            f"placeholder: {error}"
+        ) from error
+    argv = shlex.split(rendered)
+    if not argv:
+        raise ConfigurationError("worker command template expanded to nothing")
+    return argv

@@ -1,0 +1,215 @@
+"""The fabric driver: a supervised map over a ledger-backed fleet.
+
+:func:`run_fabric` is the ledger-backend counterpart of the
+supervisor's pool loop.  The division of labour is deliberately
+different from the pool's: workers own execution, retries-with-backoff
+(recorded as ``failed`` records), lease renewal, stealing, and
+quarantine decisions — everything that must survive the driver dying.
+The driver owns what only the parent can do: placing the manifest and
+config, folding ledger records into the in-order results list,
+respawning dead worker processes toward the target shard count,
+exporting per-shard telemetry, and converting terminal records into
+the supervisor's degrade-or-raise policy.
+
+Per-point wall-clock budgets are enforced by the lease TTL rather
+than :attr:`SupervisorPolicy.timeout`: a point that stops heartbeating
+— hung, or its worker killed — is stolen after ``lease_ttl`` seconds,
+which is the distributed analog of the pool's reap-and-respawn.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tempfile
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import QuarantinedPointError, SweepInterrupted
+from repro.harness.executors.base import FabricConfig, SubmittedPoint
+from repro.harness.executors.ledger import ensure_no_conflicts
+from repro.telemetry import runtime as telemetry
+
+
+def make_backend(config: FabricConfig, ledger_path: str):
+    """Instantiate the configured ledger backend."""
+    if config.backend == "shard":
+        from repro.harness.executors.shard import ShardExecutor
+
+        return ShardExecutor(config, ledger_path)
+    from repro.harness.executors.remote import RemoteExecutor
+
+    return RemoteExecutor(config, ledger_path)
+
+
+def _policy_config(context, config: FabricConfig) -> dict:
+    """The ``config`` record workers obey, rendered from the policy."""
+    policy = context.policy
+    row = {
+        "lease_ttl": config.lease_ttl,
+        "heartbeat_every": config.heartbeat_period,
+        "poll_interval": config.poll_interval,
+        "retries": policy.retries,
+        "backoff_base": policy.backoff_base,
+        "backoff_cap": policy.backoff_cap,
+        "quarantine_after": config.quarantine_after,
+    }
+    if context.fault_spec is not None:
+        row["inject"] = context.fault_spec.describe()
+    return row
+
+
+def run_fabric(
+    task: Callable,
+    work: list,
+    pending: list[int],
+    keys: list[str],
+    ckpt_paths: list,
+    results: list,
+    context,
+) -> None:
+    """Run the pending points of one map on the configured fabric."""
+    # Imported here, not at module top: supervisor imports the executors
+    # package, so the driver reaches back lazily to close the cycle.
+    from repro.harness.supervisor import _drain_report, _fail, _finish
+
+    config: FabricConfig = context.fabric
+    policy = context.policy
+    tempdir: tempfile.TemporaryDirectory | None = None
+    if config.ledger_path is not None:
+        ledger_path = str(config.ledger_path)
+    else:
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-fabric-")
+        ledger_path = str(Path(tempdir.name) / "ledger.jsonl")
+
+    # One supervised sweep may run several maps (repro-runall runs one
+    # per exhibit) against one ledger: only the first map honours the
+    # user's resume flag — every later map must resume, or opening the
+    # ledger would truncate the earlier maps' records mid-run.
+    if getattr(context, "_fabric_ledger_used", False):
+        config = dataclasses.replace(config, resume=True)
+    context._fabric_ledger_used = True
+
+    backend = make_backend(config, ledger_path)
+    try:
+        # A resumed ledger already holds ``done`` records; fold them in
+        # before manifesting, exactly as the journal pre-skip does.
+        backend.ledger.scan()
+        still_pending: list[int] = []
+        for i in pending:
+            ps = backend.ledger.state.points.get(keys[i])
+            if ps is not None and ps.done is not None:
+                _finish(
+                    context,
+                    keys,
+                    results,
+                    i,
+                    ps.result(),
+                    wall_time_s=None,
+                    attempts=ps.done.get("attempts", 1),
+                )
+                context.count("journal-skip")
+            else:
+                still_pending.append(i)
+        if not still_pending:
+            return
+
+        backend.ledger.write_config(_policy_config(context, config))
+        index_by_key: dict[str, int] = {}
+        for i in still_pending:
+            index_by_key[keys[i]] = i
+            backend.submit(
+                SubmittedPoint(
+                    index=i,
+                    task=task,
+                    item=work[i],
+                    key=keys[i],
+                    checkpoint_path=ckpt_paths[i],
+                )
+            )
+        backend.start()
+
+        outstanding = set(index_by_key.values())
+        cycle = 0
+        while outstanding:
+            for event in backend.poll(config.poll_interval):
+                index = index_by_key.get(event.handle)
+                if event.kind in ("lease", "steal"):
+                    context.count(f"fabric-{event.kind}")
+                    metric = (
+                        "repro_fabric_steals_total"
+                        if event.kind == "steal"
+                        else "repro_fabric_leases_total"
+                    )
+                    telemetry.counter(metric, shard=event.worker or "?").inc()
+                elif event.kind == "verified":
+                    context.count("fabric-verified")
+                elif event.kind == "conflict":
+                    ensure_no_conflicts(backend.ledger.state)
+                elif index is None or index not in outstanding:
+                    continue
+                elif event.kind == "done":
+                    outstanding.discard(index)
+                    _finish(
+                        context,
+                        keys,
+                        results,
+                        index,
+                        event.value,
+                        wall_time_s=event.wall_time_s,
+                        attempts=event.attempts or 1,
+                    )
+                elif event.kind == "failed":
+                    if (event.attempts or 1) > policy.retries:
+                        outstanding.discard(index)
+                        _fail(
+                            context,
+                            policy,
+                            keys,
+                            results,
+                            index,
+                            work[index],
+                            event.error,
+                            event.attempts or 1,
+                        )
+                    else:
+                        context.count("point-retry")
+                elif event.kind == "quarantined":
+                    outstanding.discard(index)
+                    context.count("fabric-quarantined")
+                    _fail(
+                        context,
+                        policy,
+                        keys,
+                        results,
+                        index,
+                        work[index],
+                        QuarantinedPointError(keys[index], event.value or []),
+                        (event.attempts or 0) + 1,
+                    )
+            if outstanding:
+                _tend_fleet(backend, context)
+            if config.observer is not None:
+                config.observer(backend, cycle)
+            cycle += 1
+    except KeyboardInterrupt:
+        backend.cancel(grace=config.grace)
+        _drain_report(context, results)
+        raise SweepInterrupted(context.completed, context.total) from None
+    finally:
+        backend.close()
+        if tempdir is not None:
+            tempdir.cleanup()
+
+
+def _tend_fleet(backend, context) -> None:
+    """Respawn dead workers; export per-shard heartbeat-age gauges."""
+    liveness = backend.liveness()
+    if liveness.dead:
+        replaced = backend.respawn()
+        if replaced:
+            context.count("fabric-worker-respawn", replaced)
+            telemetry.counter("repro_fabric_respawns_total").inc(replaced)
+    for worker_id, age in liveness.heartbeat_age.items():
+        telemetry.gauge(
+            "repro_fabric_heartbeat_age_seconds", shard=worker_id
+        ).set(age)

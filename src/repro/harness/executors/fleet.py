@@ -1,0 +1,209 @@
+"""Shared machinery for ledger-coordinated worker fleets.
+
+The ``shard`` and ``remote`` backends differ only in how a worker
+process comes to exist (a fork versus a command template).  Everything
+else — manifesting points, translating ledger records into
+:class:`~repro.harness.executors.base.PointEvent` streams, liveness,
+respawning dead workers, the SIGTERM→grace→SIGKILL drain — lives here.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import abstractmethod
+from typing import Any
+
+from repro.errors import FabricError, RemotePointError
+from repro.harness.executors.base import (
+    Executor,
+    FabricConfig,
+    LivenessReport,
+    PointEvent,
+    SubmittedPoint,
+)
+from repro.harness.executors.ledger import FabricLedger, _decode
+
+
+class WorkerHandle:
+    """One live worker process, however it was launched."""
+
+    def __init__(self, worker_id: str, pid: int) -> None:
+        self.worker_id = worker_id
+        self.pid = pid
+
+    def alive(self) -> bool:
+        raise NotImplementedError
+
+    def terminate(self) -> None:
+        raise NotImplementedError
+
+    def kill(self) -> None:
+        raise NotImplementedError
+
+    def join(self, timeout: float) -> None:
+        raise NotImplementedError
+
+
+class LedgerFleet(Executor):
+    """An executor whose workers coordinate through a shared ledger."""
+
+    def __init__(self, config: FabricConfig, ledger_path: str) -> None:
+        self.config = config
+        self.ledger_path = ledger_path
+        self.ledger = FabricLedger(ledger_path, resume=config.resume)
+        self.workers: dict[str, WorkerHandle] = {}
+        self.respawns = 0
+        self._spawned = 0
+        self._started = False
+
+    # -- subclass hook -------------------------------------------------
+
+    @abstractmethod
+    def _spawn(self, worker_id: str) -> WorkerHandle:
+        """Bring one worker process into existence."""
+
+    # -- protocol ------------------------------------------------------
+
+    def submit(self, point: SubmittedPoint) -> str:
+        self.ledger.manifest(
+            [(point.key, (point.task, point.item), point.checkpoint_path)]
+        )
+        return point.key
+
+    def start(self) -> None:
+        """Launch the fleet (after the manifest and config are down)."""
+        if self._started:
+            return
+        self._started = True
+        for _ in range(self.config.shards):
+            self._spawn_next()
+
+    def _spawn_next(self) -> WorkerHandle:
+        self._spawned += 1
+        worker_id = f"{self.name}-{self._spawned}"
+        handle = self._spawn(worker_id)
+        self.workers[worker_id] = handle
+        return handle
+
+    def poll(self, timeout: float | None) -> list[PointEvent]:
+        rows = self.ledger.scan()
+        if not rows and timeout:
+            time.sleep(timeout)
+            rows = self.ledger.scan()
+        events: list[PointEvent] = []
+        for row in rows:
+            event = self._translate(row)
+            if event is not None:
+                events.append(event)
+        return events
+
+    def _translate(self, row: dict) -> PointEvent | None:
+        kind = row.get("type")
+        key = row.get("key")
+        worker = row.get("worker")
+        if kind == "claimed":
+            return PointEvent(
+                kind="steal" if row.get("steal") else "lease",
+                handle=key,
+                worker=worker,
+            )
+        if kind == "done" or (kind is None and "result" in row and key):
+            return PointEvent(
+                kind="done",
+                handle=key,
+                value=_decode(row["result"]),
+                wall_time_s=row.get("wall_time_s"),
+                attempts=row.get("attempts", 1),
+                worker=worker,
+            )
+        if kind == "failed":
+            return PointEvent(
+                kind="failed",
+                handle=key,
+                error=RemotePointError(row.get("error", "?"), worker=worker),
+                attempts=row.get("attempts", 1),
+                worker=worker,
+            )
+        if kind == "quarantined":
+            return PointEvent(
+                kind="quarantined",
+                handle=key,
+                value=row.get("dead_workers", []),
+                worker=worker,
+            )
+        if kind in ("verified", "conflict"):
+            return PointEvent(kind=kind, handle=key, worker=worker)
+        return None  # config / point / heartbeat: not driver events
+
+    def liveness(self) -> LivenessReport:
+        report = LivenessReport()
+        now = time.time()
+        for worker_id, handle in self.workers.items():
+            report.alive[worker_id] = handle.alive()
+            seen = self.ledger.state.last_seen.get(worker_id)
+            if seen is not None:
+                report.heartbeat_age[worker_id] = max(0.0, now - seen)
+        return report
+
+    def respawn(self) -> int:
+        """Replace dead workers up to the fleet's target strength.
+
+        Returns how many were respawned; raises :class:`FabricError`
+        once the respawn budget is exhausted — a fleet whose workers
+        die on arrival is misconfigured, not unlucky.
+        """
+        replaced = 0
+        for worker_id, handle in list(self.workers.items()):
+            if handle.alive():
+                continue
+            del self.workers[worker_id]
+            if self.respawns >= self.config.max_respawns:
+                raise FabricError(
+                    f"fabric workers died {self.respawns} times (budget "
+                    f"{self.config.max_respawns}); refusing to respawn "
+                    "further — check the worker command / environment"
+                )
+            self.respawns += 1
+            replaced += 1
+            self._spawn_next()
+        return replaced
+
+    def cancel(self, grace: float = 5.0) -> None:
+        """Drain: SIGTERM everyone, wait out ``grace``, SIGKILL."""
+        for handle in self.workers.values():
+            if handle.alive():
+                try:
+                    handle.terminate()
+                except OSError:
+                    pass
+        deadline = time.monotonic() + max(0.0, grace)
+        for handle in self.workers.values():
+            handle.join(max(0.0, deadline - time.monotonic()))
+        for handle in self.workers.values():
+            if handle.alive():
+                try:
+                    handle.kill()
+                except OSError:
+                    pass
+                handle.join(5.0)
+        self.workers.clear()
+
+    def close(self) -> None:
+        self.cancel(grace=self.config.grace)
+
+    # -- conveniences for drivers and chaos harnesses ------------------
+
+    def worker_pids(self) -> dict[str, int]:
+        """Live worker id → pid (what a chaos monkey SIGKILLs)."""
+        return {
+            wid: handle.pid
+            for wid, handle in self.workers.items()
+            if handle.alive()
+        }
+
+    def describe(self) -> str:
+        alive = sum(1 for h in self.workers.values() if h.alive())
+        return (
+            f"{self.name} fleet: {alive}/{self.config.shards} workers, "
+            f"{self.respawns} respawn(s), ledger {self.ledger_path}"
+        )

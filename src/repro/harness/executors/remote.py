@@ -1,0 +1,93 @@
+"""``--executor remote``: workers launched through a command template.
+
+The worker is spawned as a fresh interpreter via a shell-style command
+template (default: ``{python} -m repro.harness.executors.worker
+--ledger {ledger} --worker-id {worker_id}``), so nothing crosses the
+boundary except a path and a name — the exact contract an SSH host
+(``ssh host {python} -m …``) or a k8s Job (the same argv in a pod
+spec, the ledger on a shared volume) would honour.  This backend is
+the local stand-in that keeps that code path continuously exercised.
+
+Worker stdout/stderr go to per-worker ``<ledger>.<worker>.log`` files,
+the closest local analog of pod logs.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.harness.executors.base import spawn_command
+from repro.harness.executors.fleet import LedgerFleet, WorkerHandle
+
+
+def _worker_env() -> dict[str, str]:
+    """The child environment: ours, plus ``repro`` on the import path.
+
+    A genuinely remote worker would have the package installed; the
+    local stand-in may be running from a source tree, so the package's
+    parent directory is prepended to ``PYTHONPATH``.
+    """
+    import repro
+
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    parts = [package_root] + ([existing] if existing else [])
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    return env
+
+
+class _SubprocessHandle(WorkerHandle):
+    def __init__(
+        self, worker_id: str, process: subprocess.Popen, log_handle
+    ) -> None:
+        super().__init__(worker_id, process.pid)
+        self.process = process
+        self._log = log_handle
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def terminate(self) -> None:
+        self.process.send_signal(signal.SIGTERM)
+
+    def kill(self) -> None:
+        self.process.kill()
+
+    def join(self, timeout: float) -> None:
+        try:
+            self.process.wait(timeout=max(0.0, timeout))
+        except subprocess.TimeoutExpired:
+            return
+        finally:
+            if self.process.poll() is not None and not self._log.closed:
+                self._log.close()
+
+
+class RemoteExecutor(LedgerFleet):
+    """Command-template worker fleet (the SSH/k8s-shaped code path)."""
+
+    name = "remote"
+
+    def _spawn(self, worker_id: str) -> WorkerHandle:
+        argv = spawn_command(
+            self.config.worker_command,
+            ledger=str(self.ledger_path),
+            worker_id=worker_id,
+            python=sys.executable,
+        )
+        log_path = f"{self.ledger_path}.{worker_id}.log"
+        log_handle = open(log_path, "ab")
+        process = subprocess.Popen(
+            argv,
+            stdout=log_handle,
+            stderr=subprocess.STDOUT,
+            stdin=subprocess.DEVNULL,
+            env=_worker_env(),
+            start_new_session=True,  # SIGINT at the console hits only us
+        )
+        return _SubprocessHandle(worker_id, process, log_handle)

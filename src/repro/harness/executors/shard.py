@@ -1,0 +1,62 @@
+"""``--executor shard``: forked work-stealing workers on this machine.
+
+N independent worker processes — real processes, not pool members —
+each run :func:`~repro.harness.executors.worker.work_loop` against the
+shared ledger.  There is no in-memory coupling between them: killing
+any subset at any instant (the chaos harness does exactly that) loses
+only their in-flight leases, which the survivors steal after the TTL.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import threading
+
+from repro.harness.executors.fleet import LedgerFleet, WorkerHandle
+
+
+def _shard_main(ledger_path: str, worker_id: str) -> None:
+    """Entry point of one forked shard worker."""
+    from repro.harness.executors.worker import work_loop
+
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    # A forked worker must never bubble KeyboardInterrupt into the
+    # parent's traceback machinery; the parent drains via SIGTERM.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    raise SystemExit(work_loop(ledger_path, worker_id, stop=stop))
+
+
+class _ProcessHandle(WorkerHandle):
+    def __init__(self, worker_id: str, process: multiprocessing.Process) -> None:
+        super().__init__(worker_id, process.pid or -1)
+        self.process = process
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def terminate(self) -> None:
+        self.process.terminate()
+
+    def kill(self) -> None:
+        self.process.kill()
+
+    def join(self, timeout: float) -> None:
+        self.process.join(timeout)
+
+
+class ShardExecutor(LedgerFleet):
+    """Forked worker fleet coordinating through the shared ledger."""
+
+    name = "shard"
+
+    def _spawn(self, worker_id: str) -> WorkerHandle:
+        process = multiprocessing.Process(
+            target=_shard_main,
+            args=(self.ledger_path, worker_id),
+            name=f"repro-fabric-{worker_id}",
+            daemon=False,
+        )
+        process.start()
+        return _ProcessHandle(worker_id, process)

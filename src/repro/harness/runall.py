@@ -41,6 +41,7 @@ from repro.harness import (
     table1,
     table2,
 )
+from repro.harness.executors.base import EXECUTOR_NAMES
 from repro.harness.supervisor import SupervisorPolicy, SweepJournal, supervise
 from repro.telemetry import profile as profiling
 from repro.telemetry import runtime as telemetry
@@ -70,6 +71,30 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="worker processes for the sweep grids (default: serial; "
         "0 means one per CPU); output is byte-identical to a serial run",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_NAMES),
+        default="pool",
+        help="where sweep points execute: 'pool' (in-process worker "
+        "pool), 'shard' (work-stealing worker processes over a lease "
+        "ledger), or 'remote' (ledger workers via a command template); "
+        "ledger backends survive SIGKILLed workers (default: pool)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker count for the ledger executors (default: 2)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="seconds a fabric worker's claim on a point stays "
+        "exclusive without a heartbeat (default: 30)",
     )
     parser.add_argument(
         "--trace-cache",
@@ -209,8 +234,16 @@ def _run(args: argparse.Namespace) -> int:
 
         sample_spec = parse_sample_spec(args.sample)
     journal_path = args.journal or (".repro-runall.jsonl" if args.resume else None)
+    args.journal = journal_path
+    from repro.harness.cli import build_fabric_config
+
+    fabric = build_fabric_config(args)
+    # Fabric mode: the ledger at --journal is the journal (same v3
+    # format); opening it twice would race the workers' appends.
     journal = (
-        SweepJournal(journal_path, resume=args.resume) if journal_path else None
+        SweepJournal(journal_path, resume=args.resume)
+        if journal_path and fabric is None
+        else None
     )
     policy = SupervisorPolicy(timeout=args.timeout, retries=args.retries)
     exhibits = PAPER_EXHIBITS + (EXTENDED_EXHIBITS if args.extended else ())
@@ -226,6 +259,7 @@ def _run(args: argparse.Namespace) -> int:
             journal=journal,
             fault_spec=fault_spec,
             checkpoint_dir=args.checkpoint_dir,
+            fabric=fabric,
         ) as context:
             for exhibit in exhibits:
                 name = exhibit.__name__.rsplit(".", 1)[-1]

@@ -45,8 +45,6 @@ import pickle
 import sys
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -59,6 +57,8 @@ from repro.errors import (
     SweepPointError,
 )
 from repro.faults.spec import FaultSpec
+from repro.harness.executors.base import FabricConfig, SubmittedPoint
+from repro.harness.executors.local import LocalPoolExecutor, terminate_pool
 from repro.harness.parallel import resolve_jobs
 from repro.telemetry import runtime as telemetry
 
@@ -226,8 +226,18 @@ class SweepJournal:
             )
 
     def _write_line(self, row: dict) -> None:
+        """Append one record durably: flushed *and* fsynced.
+
+        A point only counts as journaled once the bytes are on the
+        platter — a machine losing power after a buffered write would
+        otherwise re-run "completed" points on resume, or worse, leave
+        a torn record that silently swallows its neighbour.  The fsync
+        costs microseconds per point against sweep points that cost
+        seconds; durability is the whole reason the journal exists.
+        """
         self._handle.write(json.dumps(row, sort_keys=True) + "\n")
         self._handle.flush()
+        os.fsync(self._handle.fileno())
 
     @staticmethod
     def point_key(task: Callable, item: Any) -> str:
@@ -299,9 +309,16 @@ class SupervisorContext:
     #: forces a re-run — the retry continues mid-point instead of
     #: starting over, and the result stays bit-identical.
     checkpoint_dir: str | None = None
+    #: Ledger-backend fabric shape (``--executor shard``/``remote``).
+    #: None keeps the classic serial/pool routing; set, every
+    #: supervised map runs on the fabric driver instead
+    #: (:func:`repro.harness.executors.fabric.run_fabric`).
+    fabric: FabricConfig | None = None
     #: Aggregated event counters across all supervised maps:
     #: journal-skip, worker-crash, worker-hang-injected, point-timeout,
-    #: point-retry, point-degraded, point-resumed, pool-respawn.
+    #: point-retry, point-degraded, point-resumed, pool-respawn, plus
+    #: the fabric's fabric-lease, fabric-steal, fabric-verified,
+    #: fabric-quarantined, and fabric-worker-respawn.
     counts: dict[str, int] = field(default_factory=dict)
     completed: int = 0
     total: int = 0
@@ -353,6 +370,7 @@ def supervise(
     journal: SweepJournal | None = None,
     fault_spec: FaultSpec | None = None,
     checkpoint_dir: str | os.PathLike | None = None,
+    fabric: FabricConfig | None = None,
 ) -> Iterator[SupervisorContext]:
     """Install a supervisor context for the duration of a sweep.
 
@@ -368,6 +386,7 @@ def supervise(
         journal=journal,
         fault_spec=fault_spec,
         checkpoint_dir=None if checkpoint_dir is None else str(checkpoint_dir),
+        fabric=fabric,
     )
     previous = _ACTIVE
     _ACTIVE = context
@@ -423,15 +442,10 @@ class _Flight:
     submitted: float = 0.0
 
 
-def _terminate(executor: ProcessPoolExecutor) -> None:
-    """Abandon a pool, killing its workers (hung ones included)."""
-    executor.shutdown(wait=False, cancel_futures=True)
-    processes = getattr(executor, "_processes", None) or {}
-    for process in list(processes.values()):
-        try:
-            process.terminate()
-        except (OSError, ValueError):
-            pass
+# Historical name, kept because callers and tests grew around it; the
+# implementation (with its guarded ``_processes`` access and documented
+# plain-shutdown fallback) lives with the pool backend.
+_terminate = terminate_pool
 
 
 def supervised_map(
@@ -461,6 +475,7 @@ def supervised_map(
     need_keys = (
         context.journal is not None
         or context.fault_spec is not None
+        or context.fabric is not None
         or checkpointing
     )
     keys = [SweepJournal.point_key(task, item) for item in work] if need_keys else None
@@ -479,6 +494,14 @@ def supervised_map(
         else:
             pending.append(i)
     if not pending:
+        return results
+
+    if context.fabric is not None:
+        # Ledger-backend sweep: shard/remote workers own execution; the
+        # driver folds their records back into this ordered list.
+        from repro.harness.executors.fabric import run_fabric
+
+        run_fabric(task, work, pending, keys, ckpt_paths, results, context)
         return results
 
     workers = min(resolve_jobs(jobs), len(pending))
@@ -621,18 +644,16 @@ def _run_pool(
     context: SupervisorContext,
     workers: int,
 ) -> None:
-    """The supervised process-pool loop."""
+    """The supervised pool loop, driven through the ``pool`` backend."""
     policy = context.policy
     attempts = {i: 0 for i in pending}
     # (index, not-before) — backoff is enforced by the ready time.
     queue: deque[tuple[int, float]] = deque((i, 0.0) for i in pending)
-    inflight: dict[Future, _Flight] = {}
-    executor = ProcessPoolExecutor(max_workers=workers)
+    inflight: dict[Any, _Flight] = {}
+    backend = LocalPoolExecutor(workers)
 
     def respawn() -> None:
-        nonlocal executor
-        _terminate(executor)
-        executor = ProcessPoolExecutor(max_workers=workers)
+        backend.respawn()
         context.count("pool-respawn")
 
     def submit_ready(now: float) -> None:
@@ -646,16 +667,19 @@ def _run_pool(
                 context.fault_spec.hang_seconds if context.fault_spec else 0.0
             )
             _note_resume(context, ckpt_paths[index])
-            future = executor.submit(
-                _run_point,
-                task,
-                work[index],
-                fault,
-                hang_seconds,
-                ckpt_paths[index],
+            handle = backend.submit(
+                SubmittedPoint(
+                    index=index,
+                    task=task,
+                    item=work[index],
+                    key=keys[index] if keys is not None else None,
+                    fault=fault,
+                    hang_seconds=hang_seconds,
+                    checkpoint_path=ckpt_paths[index],
+                )
             )
             deadline = now + policy.timeout if policy.timeout else None
-            inflight[future] = _Flight(
+            inflight[handle] = _Flight(
                 index=index, deadline=deadline, submitted=time.monotonic()
             )
 
@@ -689,54 +713,45 @@ def _run_pool(
                 time.sleep(max(0.0, min(at for _, at in queue) - now))
                 continue
             wait_for = _next_wakeup(policy, queue, inflight, now)
-            done, _ = wait(inflight, timeout=wait_for, return_when=FIRST_COMPLETED)
-            broken = False
-            for future in done:
-                flight = inflight.pop(future)
-                try:
-                    value = future.result(timeout=0)
-                except BrokenProcessPool:
-                    broken = True
-                    on_failure(
-                        flight.index,
-                        FaultInjectionError("worker process died mid-point"),
-                        "worker-crash",
-                    )
-                except Exception as error:
-                    on_failure(flight.index, error, "point-retry")
-                else:
+            for event in backend.poll(wait_for):
+                if event.kind == "respawn":
+                    # The backend already rebuilt its broken pool; the
+                    # lost/crash events around this one re-route points.
+                    context.count("pool-respawn")
+                    continue
+                flight = inflight.pop(event.handle, None)
+                if flight is None:
+                    continue
+                if event.kind == "done":
                     _finish(
                         context,
                         keys,
                         results,
                         flight.index,
-                        value,
+                        event.value,
                         wall_time_s=time.monotonic() - flight.submitted,
                         attempts=attempts[flight.index] + 1,
                     )
-            if broken:
-                # The pool is unusable; survivors were not at fault —
-                # re-run them without charging an attempt.
-                for future, flight in inflight.items():
+                elif event.kind == "crash":
+                    on_failure(flight.index, event.error, "worker-crash")
+                elif event.kind == "error":
+                    on_failure(flight.index, event.error, "point-retry")
+                elif event.kind == "lost":
+                    # An innocent casualty of a pool collapse: re-run
+                    # without charging an attempt.
                     requeue(flight.index)
-                inflight.clear()
-                respawn()
-                continue
             _reap_hung(
                 context, policy, inflight, requeue, on_failure, respawn
             )
     except SweepPointError:
-        _terminate(executor)
+        backend.cancel()
         raise
     except KeyboardInterrupt:
-        _terminate(executor)
+        backend.cancel()
         _drain_report(context, results)
         raise SweepInterrupted(context.completed, context.total) from None
     else:
-        # All points done; the workers are idle, so a waiting shutdown
-        # is cheap and avoids racing the interpreter's atexit hook for
-        # the executor's wakeup pipe.
-        executor.shutdown(wait=True, cancel_futures=True)
+        backend.close()
 
 
 def _next_wakeup(

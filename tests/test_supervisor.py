@@ -268,6 +268,156 @@ class TestInterrupt:
         assert "sweep interrupted" in capsys.readouterr().err
 
 
+class TestJournalDurability:
+    def test_every_append_is_fsynced(self, tmp_path, monkeypatch):
+        """A point counts as journaled only once the bytes hit the
+        platter — record() must fsync, not merely flush."""
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: synced.append(fd) or real_fsync(fd))
+        with SweepJournal(tmp_path / "journal.jsonl") as journal:
+            before = len(synced)
+            journal.record("k1", 42)
+            assert len(synced) == before + 1
+            assert synced[-1] == journal._handle.fileno()
+
+    def test_mid_record_kill_loses_only_the_torn_point(self, tmp_path):
+        """SIGKILL delivered mid-``write(2)``: the journal keeps every
+        record appended before the kill and drops only the torn tail.
+
+        A child process journals two points, starts a third record but
+        is killed after only part of its line reaches the file, exactly
+        what a power cut or OOM kill leaves behind.
+        """
+        import signal
+        import subprocess
+        import sys
+        import textwrap
+
+        path = tmp_path / "journal.jsonl"
+        script = textwrap.dedent(
+            f"""
+            import os, signal
+            from repro.harness.supervisor import SweepJournal
+            journal = SweepJournal({str(path)!r})
+            journal.record(SweepJournal.point_key(abs, 1), 1)
+            journal.record(SweepJournal.point_key(abs, 2), 4)
+            # Begin a third record but die with only half its bytes
+            # written (bypassing record(), whose write is atomic from
+            # Python's side — the torn state is what the *kernel* has).
+            journal._handle.write('{{"schema": 3, "key": "half-a-rec')
+            journal._handle.flush()
+            os.kill(os.getpid(), signal.SIGKILL)
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), "src") if p
+        )
+        proc = subprocess.run([sys.executable, "-c", script], env=env)
+        assert proc.returncode == -signal.SIGKILL
+        with SweepJournal(path, resume=True) as journal:
+            assert journal.entries == {
+                SweepJournal.point_key(abs, 1): 1,
+                SweepJournal.point_key(abs, 2): 4,
+            }
+
+
+class TestTerminateFallback:
+    def test_pool_processes_reads_a_real_pool(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.harness.executors.local import pool_processes
+
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            pool.submit(square, 2).result()
+            assert all(p.is_alive() for p in pool_processes(pool))
+
+    def test_pool_processes_guards_missing_private_attribute(self):
+        """CPython renaming ``_processes`` must degrade the helper to
+        an empty list, never an AttributeError in the drain path."""
+        from repro.harness.executors.local import pool_processes
+
+        class NoProcesses:
+            pass
+
+        class NoneProcesses:
+            _processes = None
+
+        class HostileProcesses:
+            class _processes:  # .values() raises like a retyped attr
+                @staticmethod
+                def values():
+                    raise TypeError("not a mapping anymore")
+
+        assert pool_processes(NoProcesses()) == []
+        assert pool_processes(NoneProcesses()) == []
+        assert pool_processes(HostileProcesses()) == []
+
+    def test_terminate_falls_back_to_plain_shutdown(self):
+        """With no enumerable workers, _terminate still shuts the pool
+        down instead of crashing — the documented fallback."""
+        from repro.harness.supervisor import _terminate
+
+        calls = []
+
+        class ShutdownOnly:
+            def shutdown(self, wait, cancel_futures):
+                calls.append((wait, cancel_futures))
+
+        _terminate(ShutdownOnly())
+        assert calls == [(False, True)]
+
+
+class TestReapHung:
+    def test_reaps_expired_flights_and_requeues_survivors(self):
+        """Direct exercise of ``_reap_hung``: the expired flight is
+        charged a timeout failure, the innocent one re-queued free, and
+        the pool respawned exactly once."""
+        from repro.harness.supervisor import _Flight, _reap_hung
+
+        class StuckFuture:
+            def done(self):
+                return False
+
+        context = SupervisorContext(policy=SupervisorPolicy(timeout=0.5))
+        hung, innocent = StuckFuture(), StuckFuture()
+        now = time.monotonic()
+        inflight = {
+            hung: _Flight(index=0, deadline=now - 1.0),
+            innocent: _Flight(index=1, deadline=now + 60.0),
+        }
+        requeued, failed, respawns = [], [], []
+        _reap_hung(
+            context,
+            context.policy,
+            inflight,
+            lambda index: requeued.append(index),
+            lambda index, cause, kind: failed.append((index, kind, str(cause))),
+            lambda: respawns.append(True),
+        )
+        assert inflight == {}
+        assert respawns == [True]
+        assert requeued == [1]
+        assert len(failed) == 1
+        index, kind, message = failed[0]
+        assert (index, kind) == (0, "point-timeout")
+        assert "0.5s wall-clock budget" in message
+
+    def test_no_deadline_means_no_reaping(self):
+        from repro.harness.supervisor import _Flight, _reap_hung
+
+        class StuckFuture:
+            def done(self):
+                return False
+
+        context = SupervisorContext()
+        inflight = {StuckFuture(): _Flight(index=0, deadline=None)}
+        boom = lambda *a: pytest.fail("nothing should be reaped")  # noqa: E731
+        _reap_hung(context, context.policy, inflight, boom, boom, boom)
+        assert len(inflight) == 1
+
+
 class TestJournalV3:
     """The v3 schema: per-entry wall_time_s and attempts cost metadata."""
 
