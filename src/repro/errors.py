@@ -87,6 +87,25 @@ class SweepInterrupted(ReproError):
         super().__init__(f"sweep interrupted: {completed}/{total} points completed")
 
 
+class DeadlineExpired(SweepInterrupted):
+    """A run-level ``--deadline`` expired before the sweep completed.
+
+    A subclass of :class:`SweepInterrupted` because the semantics are
+    identical to SIGINT by design: in-flight work is cancelled with the
+    same grace, completed points are already journaled, and a
+    ``--resume`` run finishes the sweep byte-identically.  The distinct
+    type exists so CLIs can exit 124 (the ``timeout(1)`` convention)
+    instead of 130.
+    """
+
+    def __init__(self, completed: int, total: int) -> None:
+        super().__init__(completed, total)
+        # Overwrite the SweepInterrupted message with the deadline one.
+        self.args = (
+            f"deadline expired: {completed}/{total} points completed",
+        )
+
+
 class RemotePointError(ReproError):
     """A sweep point failed on a fabric worker in another process.
 

@@ -21,6 +21,10 @@ RECOVERED = "recovered"
 #: A lenient-mode run whose end-of-run audit found violated invariants
 #: (strict mode raises :class:`~repro.errors.AuditError` instead).
 AUDIT = "audit"
+#: A resource budget fired and the run degraded instead of dying: a
+#: trace-cache store fell back to cache-off, a supervised map clamped
+#: to serial under memory pressure, a deadline drained the sweep.
+GOVERNOR = "governor"
 
 
 @dataclass(frozen=True, slots=True)

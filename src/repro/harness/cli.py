@@ -42,9 +42,16 @@ from fractions import Fraction
 from repro.audit import AUDIT_MODES, AUDIT_OFF, resolve_audit_mode
 from repro.cache.emulator import DragonheadConfig
 from repro.core.phases import phase_summary
-from repro.errors import AuditError, SamplingError, SweepInterrupted, SweepPointError
+from repro.errors import (
+    AuditError,
+    DeadlineExpired,
+    SamplingError,
+    SweepInterrupted,
+    SweepPointError,
+)
 from repro.faults.report import merge_records
 from repro.faults.spec import parse_fault_spec
+from repro.governor.budget import ResourceBudget, active_governor, govern
 from repro.harness.replay import load_or_capture, log_cache_key, replay_sweep
 from repro.harness.report import (
     render_audit_report,
@@ -225,6 +232,31 @@ def build_parser() -> argparse.ArgumentParser:
         "(bit-identical to an uninterrupted run)",
     )
     parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run-level wall-clock budget; expiry drains the sweep like "
+        "Ctrl-C (partial report, journal keeps completed points, "
+        "--resume finishes byte-identically) and exits 124",
+    )
+    parser.add_argument(
+        "--disk-quota",
+        metavar="SIZE",
+        default=None,
+        help="bytes the trace cache (plus --checkpoint-dir) may occupy, "
+        "e.g. 512MB; over quota the least-recently-used cached traces "
+        "are evicted (they regenerate on demand)",
+    )
+    parser.add_argument(
+        "--mem-budget",
+        metavar="SIZE",
+        default=None,
+        help="process maxrss high-water mark, e.g. 2GB; once breached, "
+        "sweeps clamp to serial execution and the breach is recorded "
+        "as degradation",
+    )
+    parser.add_argument(
         "--fail-on-degraded",
         action="store_true",
         help="exit nonzero if any result carries degradation records "
@@ -267,6 +299,40 @@ def telemetry_requested(args: argparse.Namespace) -> bool:
     return bool(args.telemetry) or bool(args.metrics_file) or bool(args.profile)
 
 
+def build_budget(args: argparse.Namespace) -> ResourceBudget | None:
+    """The resource budget from CLI flags; None when no axis is set.
+
+    Shared by ``repro-cosim`` and ``repro-runall`` — both expose the
+    same ``--deadline``/``--disk-quota``/``--mem-budget`` triple.
+    """
+    disk = parse_size(args.disk_quota) if args.disk_quota else None
+    mem = parse_size(args.mem_budget) if args.mem_budget else None
+    if disk is None and mem is None and args.deadline is None:
+        return None
+    return ResourceBudget(disk_quota=disk, mem_budget=mem, deadline_s=args.deadline)
+
+
+def startup_gc(args: argparse.Namespace, trace_cache) -> None:
+    """Run-start housekeeping on the resolved trace cache.
+
+    Collects aged crash debris (quarantined ``.corrupt`` entries,
+    orphaned staging directories, stale checkpoints — threshold
+    ``$REPRO_GC_AGE_S``, default a week) and, when a quota is set,
+    evicts down to it before the run adds new entries.
+    """
+    if trace_cache is None:
+        return
+    from repro.governor import gc as governor_gc
+
+    governor_gc.collect_garbage(trace_cache, checkpoint_dir=args.checkpoint_dir)
+    if trace_cache.disk_quota is not None:
+        governor_gc.enforce_quota(
+            trace_cache,
+            trace_cache.disk_quota,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+
+
 def build_fabric_config(args: argparse.Namespace) -> FabricConfig | None:
     """The sweep-fabric shape from CLI flags; None in ``pool`` mode.
 
@@ -293,7 +359,8 @@ def main(argv: list[str] | None = None) -> int:
             events_path=args.telemetry if isinstance(args.telemetry, str) else None
         )
     try:
-        return _main(args)
+        with govern(build_budget(args)):
+            return _main(args)
     finally:
         if telemetry_requested(args):
             telemetry.shutdown()
@@ -323,7 +390,11 @@ def _main(args: argparse.Namespace) -> int:
     if args.repeats != 1:
         # Only stamped when used, so existing cached captures stay valid.
         key_extra["repeats"] = args.repeats
-    trace_cache = resolve_trace_cache(args.trace_cache)
+    trace_cache = resolve_trace_cache(
+        args.trace_cache,
+        disk_quota=parse_size(args.disk_quota) if args.disk_quota else None,
+    )
+    startup_gc(args, trace_cache)
     fault_spec = parse_fault_spec(args.inject)
     if args.resume and not args.journal:
         build_parser().error("--resume requires --journal FILE")
@@ -373,6 +444,11 @@ def _main(args: argparse.Namespace) -> int:
                     lenient=args.lenient,
                     audit=audit_mode,
                 )
+        except DeadlineExpired as expired:
+            # Checked before SweepInterrupted (its parent class): the
+            # drain is identical but the exit code follows timeout(1).
+            print(f"deadline: {expired}")
+            return 124
         except SweepInterrupted as interrupted:
             print(f"interrupted: {interrupted}")
             return 130
@@ -527,7 +603,9 @@ def _report(
         if audit_mode != AUDIT_OFF:
             print()
             print(render_audit_report(results))
-        if fault_spec is not None or args.lenient:
+        governor = active_governor()
+        governor_records = tuple(governor.records) if governor is not None else ()
+        if fault_spec is not None or args.lenient or governor_records:
             if telemetry.enabled():
                 # Satellite of the same counters publish_results wrote:
                 # one counting path, same byte-identical report ordering.
@@ -535,13 +613,18 @@ def _report(
             else:
                 merged = merge_records(*(result.degradation for result in results))
             print()
-            print(render_degradation_report(merged))
+            print(render_degradation_report(merge_records(merged, governor_records)))
         if ctx.counts:
             # Noteworthy only: empty on a clean un-resumed run, so the
             # byte-identical serial-vs-parallel contract is undisturbed.
             print(f"supervisor events: {ctx.describe()}")
-        if args.fail_on_degraded and any(
-            result is not None and result.degraded for result in results
+        if governor is not None and governor.counts:
+            # Only under an explicit budget, and only when one fired —
+            # budget-free runs print exactly what they always printed.
+            print(f"governor events: {governor.describe()}")
+        if args.fail_on_degraded and (
+            any(result is not None and result.degraded for result in results)
+            or governor_records
         ):
             print("failing: degradation records present (--fail-on-degraded)")
             return 4

@@ -70,7 +70,7 @@ def run_fabric(
     """Run the pending points of one map on the configured fabric."""
     # Imported here, not at module top: supervisor imports the executors
     # package, so the driver reaches back lazily to close the cycle.
-    from repro.harness.supervisor import _drain_report, _fail, _finish
+    from repro.harness.supervisor import _drain_report, _fail, _finish, check_deadline
 
     config: FabricConfig = context.fabric
     policy = context.policy
@@ -131,6 +131,14 @@ def run_fabric(
         outstanding = set(index_by_key.values())
         cycle = 0
         while outstanding:
+            # Deadline expiry drains the fabric exactly like SIGINT
+            # below: workers are cancelled with the same grace, the
+            # ledger keeps every done record, and a resumed run skips
+            # them.  Checked once per cycle, so expiry costs at most
+            # one poll interval plus one point's latency.
+            check_deadline(
+                context, results, cancel=lambda: backend.cancel(grace=config.grace)
+            )
             for event in backend.poll(config.poll_interval):
                 index = index_by_key.get(event.handle)
                 if event.kind in ("lease", "steal"):

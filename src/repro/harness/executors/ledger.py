@@ -319,8 +319,22 @@ class FabricLedger:
             os.close(fd)
 
     def append(self, *rows: dict) -> None:
-        with self._locked():
-            self._append_locked(list(rows))
+        """Append rows under the lock, riding out transient I/O errors.
+
+        The retry wraps the whole lock-write-fsync transaction: a retry
+        after a mid-write EIO can at worst leave a torn fragment, which
+        the next writer's newline repair and every parser's torn-line
+        tolerance already absorb.
+        """
+        from repro.governor.fsshim import fault_point
+        from repro.governor.retry import retry_io
+
+        def _write() -> None:
+            fault_point("ledger.append")
+            with self._locked():
+                self._append_locked(list(rows))
+
+        retry_io("ledger.append", _write)
 
     # -- reading -------------------------------------------------------
 

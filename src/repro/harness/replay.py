@@ -639,7 +639,10 @@ def load_or_capture(
             return ReplayLog.from_payload(*payload), str(trace_cache.entry_dir(key))
         log = capture_replay_log(workload, cores, quantum, boot_noise_accesses)
         entry = trace_cache.store(key, *log.to_payload())
-        return log, str(entry)
+        # store() returns None when the cache has latched off (the
+        # governor's final ENOSPC fallback): the run continues with the
+        # freshly captured in-memory log, just without a disk home.
+        return log, None if entry is None else str(entry)
 
 
 # -- multi-config fan-out ---------------------------------------------
@@ -750,7 +753,22 @@ def replay_map(
                     extra={"transport": "spill", "accesses": log.accesses},
                 )
                 meta, arrays = log.to_payload()
-                entry_dir = str(TraceCache(spill_dir).store(key, meta, arrays))
+                entry = TraceCache(spill_dir).store(key, meta, arrays)
+                if entry is None:
+                    # Spill refused (disk full even for the temp cache):
+                    # fall back to pickling the log in-band.  Slower,
+                    # correct, and already recorded as a degradation by
+                    # the cache's ENOSPC handling.
+                    handle = _LogHandle(log=log)
+                    return parallel_map(
+                        _replay_task,
+                        [
+                            (handle, config, spec, lenient, audit_mode)
+                            for config in configs
+                        ],
+                        jobs=jobs,
+                    )
+                entry_dir = str(entry)
                 telemetry.counter("repro_replay_log_spills_total").inc()
             handle = _LogHandle(entry_dir=entry_dir)
             return parallel_map(

@@ -27,8 +27,9 @@ import os
 import sys
 
 from repro.audit import AUDIT_ENV, AUDIT_MODES
-from repro.errors import SweepInterrupted, SweepPointError
+from repro.errors import DeadlineExpired, SweepInterrupted, SweepPointError
 from repro.faults.spec import parse_fault_spec
+from repro.governor.budget import active_governor, govern
 from repro.harness import (
     ablations,
     bandwidth_study,
@@ -176,6 +177,30 @@ def main(argv: list[str] | None = None) -> int:
         "killed or timed-out points resume where they stopped",
     )
     parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run-level wall-clock budget across all exhibits; expiry "
+        "drains the current sweep like Ctrl-C (journal keeps completed "
+        "points, --resume finishes byte-identically) and exits 124",
+    )
+    parser.add_argument(
+        "--disk-quota",
+        metavar="SIZE",
+        default=None,
+        help="bytes the trace cache (plus --checkpoint-dir) may occupy, "
+        "e.g. 512MB; over quota the least-recently-used cached traces "
+        "are evicted",
+    )
+    parser.add_argument(
+        "--mem-budget",
+        metavar="SIZE",
+        default=None,
+        help="process maxrss high-water mark, e.g. 2GB; once breached, "
+        "sweeps clamp to serial execution and the breach is recorded",
+    )
+    parser.add_argument(
         "--fail-on-degraded",
         action="store_true",
         help="exit nonzero if any exhibit or sweep point degraded "
@@ -215,8 +240,11 @@ def main(argv: list[str] | None = None) -> int:
         telemetry.configure(
             events_path=args.telemetry if isinstance(args.telemetry, str) else None
         )
+    from repro.harness.cli import build_budget
+
     try:
-        return _run(args)
+        with govern(build_budget(args)):
+            return _run(args)
     finally:
         if telemetry_on:
             telemetry.shutdown()
@@ -225,8 +253,15 @@ def main(argv: list[str] | None = None) -> int:
 def _run(args: argparse.Namespace) -> int:
     """The evaluation itself, with telemetry configured (or disabled)."""
     from repro.trace.cache import resolve_trace_cache
+    from repro.units import parse_size
 
-    trace_cache = resolve_trace_cache(args.trace_cache)
+    trace_cache = resolve_trace_cache(
+        args.trace_cache,
+        disk_quota=parse_size(args.disk_quota) if args.disk_quota else None,
+    )
+    from repro.harness.cli import startup_gc
+
+    startup_gc(args, trace_cache)
     fault_spec = parse_fault_spec(args.inject)
     sample_spec = None
     if args.sample is not None:
@@ -284,6 +319,11 @@ def _run(args: argparse.Namespace) -> int:
                     degraded.append(name)
                     print(f"[degraded] exhibit {name} skipped: {error}")
                 print()
+    except DeadlineExpired as expired:
+        # Before SweepInterrupted (its parent class): identical drain,
+        # timeout(1)'s exit code.
+        print(f"deadline: {expired}", file=sys.stderr)
+        return 124
     except SweepInterrupted as interrupted:
         print(f"interrupted: {interrupted}", file=sys.stderr)
         return 130
@@ -292,6 +332,9 @@ def _run(args: argparse.Namespace) -> int:
             journal.close()
     if context.counts:
         print(f"supervisor events: {context.describe()}")
+    governor = active_governor()
+    if governor is not None and governor.counts:
+        print(f"governor events: {governor.describe()}")
     if degraded:
         print(f"degraded exhibits: {', '.join(degraded)}")
     if args.csv:
@@ -301,7 +344,9 @@ def _run(args: argparse.Namespace) -> int:
             print(f"wrote {path}")
     _emit_telemetry(args)
     if args.fail_on_degraded and (
-        degraded or context.counts.get("point-degraded")
+        degraded
+        or context.counts.get("point-degraded")
+        or (governor is not None and governor.records)
     ):
         print("failing: degraded exhibits or points present (--fail-on-degraded)")
         return 4

@@ -52,11 +52,15 @@ from typing import Any, Callable, Iterator
 
 from repro.errors import (
     ConfigurationError,
+    DeadlineExpired,
     FaultInjectionError,
     SweepInterrupted,
     SweepPointError,
 )
 from repro.faults.spec import FaultSpec
+from repro.governor.budget import active_governor
+from repro.governor.fsshim import fault_point
+from repro.governor.retry import retry_io
 from repro.harness.executors.base import FabricConfig, SubmittedPoint
 from repro.harness.executors.local import LocalPoolExecutor, terminate_pool
 from repro.harness.parallel import resolve_jobs
@@ -234,10 +238,21 @@ class SweepJournal:
         a torn record that silently swallows its neighbour.  The fsync
         costs microseconds per point against sweep points that cost
         seconds; durability is the whole reason the journal exists.
+
+        Transient write errors (EIO on a flaky volume, EAGAIN) are
+        retried with backoff; a retried append can at worst leave one
+        torn line followed by the complete record, which the loader's
+        torn-line tolerance already absorbs.
         """
-        self._handle.write(json.dumps(row, sort_keys=True) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        line = json.dumps(row, sort_keys=True) + "\n"
+
+        def _write() -> None:
+            fault_point("journal.append")
+            self._handle.write(line)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+        retry_io("journal.append", _write)
 
     @staticmethod
     def point_key(task: Callable, item: Any) -> str:
@@ -505,6 +520,13 @@ def supervised_map(
         return results
 
     workers = min(resolve_jobs(jobs), len(pending))
+    governor = active_governor()
+    if workers > 1 and governor is not None and governor.memory_pressure():
+        # Worker processes are the multiplier on resident memory; under
+        # a breached --mem-budget new maps run serial (the latch in the
+        # governor keeps this in force for the rest of the run, and the
+        # first breach left a degradation record).
+        workers = 1
     if workers <= 1:
         _run_serial(task, work, pending, keys, ckpt_paths, results, context)
     else:
@@ -579,6 +601,44 @@ def _backoff(policy: SupervisorPolicy, attempt: int) -> float:
     return min(policy.backoff_cap, policy.backoff_base * (2 ** max(0, attempt - 1)))
 
 
+def check_deadline(
+    context: SupervisorContext,
+    results: list,
+    cancel: Callable[[], None] | None = None,
+) -> None:
+    """Drain the sweep if the run-level ``--deadline`` has expired.
+
+    The deadline path is SIGINT with a different exception type: cancel
+    in-flight work, print the partial-results report (the journal keeps
+    every completed point), raise :class:`~repro.errors.DeadlineExpired`
+    — a :class:`SweepInterrupted` subclass, so everything that already
+    survives Ctrl-C survives deadline expiry for free.  Checked between
+    serial points, per pool-poll cycle, and per fabric cycle; a point
+    already running is never cut down mid-flight (the per-point
+    ``timeout`` owns that), so expiry costs at most one point's latency.
+    """
+    governor = active_governor()
+    if governor is None or not governor.deadline_expired():
+        return
+    if cancel is not None:
+        cancel()
+    governor.note_deadline(context.completed, context.total)
+    _drain_report(context, results, reason="deadline expired")
+    raise DeadlineExpired(context.completed, context.total)
+
+
+def _deadline_capped(wait_for: float | None) -> float | None:
+    """Cap a poll timeout so the loop wakes when the deadline lands."""
+    governor = active_governor()
+    if governor is None:
+        return wait_for
+    remaining = governor.deadline_remaining()
+    if remaining is None:
+        return wait_for
+    capped = remaining if wait_for is None else min(wait_for, remaining)
+    return max(0.05, capped)
+
+
 def _run_serial(
     task: Callable,
     work: list,
@@ -596,6 +656,7 @@ def _run_serial(
     """
     policy = context.policy
     for i in pending:
+        check_deadline(context, results)
         attempt = 0
         while True:
             fault = _point_fault(context, keys, i, attempt)
@@ -706,13 +767,16 @@ def _run_pool(
 
     try:
         while queue or inflight:
+            check_deadline(context, results, cancel=backend.cancel)
             now = time.monotonic()
             submit_ready(now)
             if not inflight:
                 # Nothing running: we are waiting out a backoff window.
-                time.sleep(max(0.0, min(at for _, at in queue) - now))
+                pause = max(0.0, min(at for _, at in queue) - now)
+                capped = _deadline_capped(pause)
+                time.sleep(pause if capped is None else min(pause, capped))
                 continue
-            wait_for = _next_wakeup(policy, queue, inflight, now)
+            wait_for = _deadline_capped(_next_wakeup(policy, queue, inflight, now))
             for event in backend.poll(wait_for):
                 if event.kind == "respawn":
                     # The backend already rebuilt its broken pool; the
@@ -799,11 +863,13 @@ def _reap_hung(context, policy, inflight, requeue, on_failure, respawn) -> None:
         requeue(index)
 
 
-def _drain_report(context: SupervisorContext, results: list) -> None:
-    """The SIGINT partial-results report, written to stderr."""
+def _drain_report(
+    context: SupervisorContext, results: list, reason: str = "interrupted"
+) -> None:
+    """The drain report (SIGINT or deadline expiry), written to stderr."""
     done = sum(1 for value in results if value is not _UNSET)
     print(
-        f"\nsweep interrupted: {done}/{len(results)} points of the current "
+        f"\nsweep {reason}: {done}/{len(results)} points of the current "
         f"grid completed ({context.completed}/{context.total} overall)",
         file=sys.stderr,
     )

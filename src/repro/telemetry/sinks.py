@@ -20,17 +20,46 @@ from __future__ import annotations
 import json
 import math
 import os
+import sys
 from typing import Iterable, Iterator, Mapping
 
 from repro.errors import TelemetryError
 from repro.telemetry.registry import Counter, Gauge, Histogram, MetricRegistry
 
+#: Consecutive emit failures after which a :class:`JsonlSink` gives up
+#: (with one stderr warning) instead of fighting a dead volume forever.
+MAX_CONSECUTIVE_WRITE_ERRORS = 5
+
+
+def _count_write_error(sink: str) -> None:
+    """Bump ``repro_telemetry_write_errors_total`` for one failed write.
+
+    Imported lazily: :mod:`repro.telemetry.runtime` imports this module
+    at its top level, so the reverse edge must resolve at call time.
+    """
+    from repro.telemetry import runtime as telemetry_runtime
+
+    telemetry_runtime.counter(
+        "repro_telemetry_write_errors_total", sink=sink
+    ).inc()
+
 
 class JsonlSink:
-    """Append-only JSONL event log (one JSON object per line)."""
+    """Append-only JSONL event log (one JSON object per line).
+
+    Writes never raise: the telemetry stream must not be able to kill
+    the run it is observing.  A failed append is retried (transient
+    errnos only, see :func:`repro.governor.retry.retry_io`), counted in
+    ``repro_telemetry_write_errors_total{sink="jsonl"}``, and after
+    :data:`MAX_CONSECUTIVE_WRITE_ERRORS` consecutive failures the sink
+    disables itself with a single stderr warning — a degraded event
+    log, loudly reported, instead of a crashed sweep or a silent one.
+    """
 
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = str(path)
+        self._write_errors = 0
+        self._disabled = False
         try:
             self._handle = open(self.path, "w", encoding="utf-8")
         except OSError as error:
@@ -39,10 +68,33 @@ class JsonlSink:
             ) from error
 
     def emit(self, event: Mapping[str, object]) -> None:
-        if self._handle.closed:
+        if self._handle.closed or self._disabled:
             return
-        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
-        self._handle.flush()
+        from repro.governor.fsshim import fault_point
+        from repro.governor.retry import retry_io
+
+        line = json.dumps(event, sort_keys=True) + "\n"
+
+        def _write() -> None:
+            fault_point("telemetry.emit")
+            self._handle.write(line)
+            self._handle.flush()
+
+        try:
+            retry_io("telemetry.emit", _write)
+        except OSError as error:
+            self._write_errors += 1
+            _count_write_error("jsonl")
+            if self._write_errors >= MAX_CONSECUTIVE_WRITE_ERRORS:
+                self._disabled = True
+                print(
+                    f"warning: telemetry event log {self.path} disabled "
+                    f"after {self._write_errors} consecutive write "
+                    f"failures: {error}",
+                    file=sys.stderr,
+                )
+        else:
+            self._write_errors = 0
 
     def close(self) -> None:
         if not self._handle.closed:
@@ -187,16 +239,31 @@ def render_prometheus(registry: MetricRegistry) -> str:
 
 
 def write_prometheus(registry: MetricRegistry, path: str | os.PathLike) -> None:
-    """Atomically write the exposition file (never torn mid-scrape)."""
+    """Atomically write the exposition file (never torn mid-scrape).
+
+    Transient write errors are retried with backoff; a persistent
+    failure is counted in ``repro_telemetry_write_errors_total`` before
+    the :class:`~repro.errors.TelemetryError` surfaces, so the failure
+    is visible in the metrics the *next* successful write exports.
+    """
+    from repro.governor.fsshim import fault_point
+    from repro.governor.retry import retry_io
+
     path = str(path)
     tmp = f"{path}.tmp.{os.getpid()}"
-    try:
+
+    def _write() -> None:
+        fault_point("telemetry.prometheus")
         with open(tmp, "w", encoding="utf-8") as handle:
             handle.write(render_prometheus(registry))
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
+
+    try:
+        retry_io("telemetry.prometheus", _write)
     except OSError as error:
+        _count_write_error("prometheus")
         try:
             os.unlink(tmp)
         except OSError:

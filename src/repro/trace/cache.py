@@ -42,19 +42,24 @@ to N worker processes shares pages instead of duplicating the log.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
 import shutil
 import uuid
 import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Mapping
+from typing import Iterator, Mapping
 
 import numpy as np
 
 from repro.errors import ConfigurationError, TraceError
+from repro.governor.budget import active_governor
+from repro.governor.fsshim import fault_point
+from repro.governor.retry import retry_io
 from repro.telemetry import runtime as telemetry
 
 #: Manifest file name inside every entry directory.
@@ -78,6 +83,84 @@ TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
 #: ``--trace-cache`` argument or via :data:`TRACE_CACHE_ENV`.
 OFF_VALUES = frozenset({"", "0", "off", "none", "disabled"})
 
+#: Directory (under the cache root) holding reader pins.  A pin marks a
+#: key as in-use for the validate-and-mmap window so the quota evictor
+#: (:mod:`repro.governor.gc`) will not yank the entry mid-read.
+PINS_DIR = ".pins"
+
+#: How many single-entry evictions one :meth:`TraceCache.store` may
+#: trigger while fighting ENOSPC before giving up and going cache-off.
+ENOSPC_EVICT_LIMIT = 8
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True  # exists but is not ours (or an exotic platform)
+    return True
+
+
+@contextmanager
+def pin_entry(root: Path, key: str) -> Iterator[None]:
+    """Pin ``key`` against eviction for the duration of the block.
+
+    The pin is a file in ``root/.pins`` whose name carries the key and
+    the owning pid; the evictor skips pinned keys and deletes pins
+    whose pid is dead (a reader that crashed mid-load must not pin its
+    entry forever).  Pinning is best-effort — on a read-only cache
+    volume the pin silently does not happen, which only widens the
+    (already survivable) reader-vs-evictor race back to what it was.
+    """
+    pin: Path | None = None
+    try:
+        pins = root / PINS_DIR
+        pins.mkdir(exist_ok=True)
+        pin = pins / f"{key}.{os.getpid()}.{uuid.uuid4().hex[:8]}.pin"
+        pin.write_text(str(os.getpid()), encoding="utf-8")
+    except OSError:
+        pin = None
+    try:
+        yield
+    finally:
+        if pin is not None:
+            try:
+                pin.unlink()
+            except OSError:
+                pass
+
+
+def pinned_keys(root: Path) -> set[str]:
+    """Keys currently pinned by a *live* process; stale pins are reaped.
+
+    A pin whose recorded pid no longer exists belongs to a crashed
+    reader — it is deleted on sight so one dead process cannot shield
+    an entry from eviction forever.
+    """
+    keys: set[str] = set()
+    try:
+        pins = list((root / PINS_DIR).iterdir())
+    except OSError:
+        return keys
+    for pin in pins:
+        parts = pin.name.split(".")
+        if len(parts) < 4 or parts[-1] != "pin":
+            continue
+        try:
+            pid = int(parts[-3])
+        except ValueError:
+            continue
+        if _pid_alive(pid):
+            keys.add(parts[0])
+        else:
+            try:
+                pin.unlink()
+            except OSError:
+                pass
+    return keys
+
 
 @dataclass
 class TraceCacheStats:
@@ -88,13 +171,32 @@ class TraceCacheStats:
     stores: int = 0
     corrupt: int = 0
     quarantined: int = 0
+    #: Governance counters (PR 9).  Kept out of :meth:`describe` unless
+    #: nonzero so un-governed runs print byte-identical stats lines.
+    evictions: int = 0
+    enospc: int = 0
+    gc_quarantined: int = 0
+    gc_orphans: int = 0
+    gc_checkpoints: int = 0
 
     def describe(self) -> str:
-        return (
+        line = (
             f"hits={self.hits} misses={self.misses} "
             f"stores={self.stores} corrupt={self.corrupt} "
             f"quarantined={self.quarantined}"
         )
+        extras = " ".join(
+            f"{name}={getattr(self, name)}"
+            for name in (
+                "evictions",
+                "enospc",
+                "gc_quarantined",
+                "gc_orphans",
+                "gc_checkpoints",
+            )
+            if getattr(self, name)
+        )
+        return f"{line} {extras}" if extras else line
 
     def count(self, event: str) -> None:
         """Bump one counter, mirroring it into the telemetry registry.
@@ -192,10 +294,23 @@ def cache_key(fields: Mapping[str, object]) -> str:
 class TraceCache:
     """A content-addressed store of (metadata, numpy arrays) entries."""
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(
+        self, root: str | os.PathLike, disk_quota: int | None = None
+    ) -> None:
+        if disk_quota is not None and disk_quota <= 0:
+            raise ConfigurationError(
+                f"trace-cache disk quota must be positive, got {disk_quota}"
+            )
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = TraceCacheStats()
+        #: Bytes the cache may occupy; stores over it trigger LRU
+        #: eviction (:func:`repro.governor.gc.enforce_quota`).
+        self.disk_quota = disk_quota
+        #: Latched final fallback: after persistent ENOSPC with nothing
+        #: left to evict, stores become no-ops (loads keep working — a
+        #: full disk does not invalidate what is already cached).
+        self.off = False
 
     # -- addressing ---------------------------------------------------
 
@@ -225,13 +340,34 @@ class TraceCache:
         the evidence while freeing the key for a clean republish.
         """
         entry = self.entry_dir(key)
-        if not (entry / MANIFEST_NAME).is_file():
-            # No manifest means no entry at all — a clean miss, not
-            # damage (the manifest is written last on store).
-            self.stats.count("misses")
-            return None
         try:
-            meta, arrays = _read_entry(entry, mmap, expect_key=key)
+            with pin_entry(self.root, key):
+                if not (entry / MANIFEST_NAME).is_file():
+                    # No manifest means no entry at all — a clean miss,
+                    # not damage (the manifest is written last on store).
+                    self.stats.count("misses")
+                    return None
+
+                def _attempt() -> tuple[dict, dict[str, np.ndarray]]:
+                    fault_point("trace-cache.load")
+                    return _read_entry(entry, mmap, expect_key=key)
+
+                meta, arrays = retry_io("trace-cache.load", _attempt)
+        except FileNotFoundError as error:
+            if not (entry / MANIFEST_NAME).is_file():
+                # The whole entry vanished between the manifest check
+                # and the read: a concurrent evictor won the race
+                # before our pin landed.  A clean miss — regenerate,
+                # don't count corruption.
+                self.stats.count("misses")
+                return None
+            # Manifest still present but an array file is gone: that
+            # is damage, handled by the quarantine path below.
+            self.stats.count("corrupt")
+            self.stats.count("misses")
+            self._quarantine(entry)
+            del error
+            return None
         except (OSError, ValueError, KeyError, TypeError) as error:
             # A present-but-damaged entry: count it, move it aside so
             # the next store can republish cleanly, and miss.
@@ -241,6 +377,12 @@ class TraceCache:
             del error
             return None
         self.stats.count("hits")
+        try:
+            # Refresh the LRU stamp: entry-dir mtime is the eviction
+            # rank, so a hit marks the entry recently used.
+            os.utime(entry)
+        except OSError:
+            pass
         return meta, arrays
 
     def _quarantine(self, entry: Path) -> None:
@@ -262,7 +404,7 @@ class TraceCache:
 
     def store(
         self, key: str, meta: Mapping[str, object], arrays: Mapping[str, np.ndarray]
-    ) -> Path:
+    ) -> Path | None:
         """Publish an entry for ``key``; returns its directory.
 
         Safe under concurrent writers: the entry is assembled in a
@@ -270,12 +412,62 @@ class TraceCache:
         rename.  If another writer published the same key first, this
         writer's copy is discarded (content addressing makes the two
         copies interchangeable).
+
+        Degrades instead of crashing on a full disk: ENOSPC triggers
+        LRU eviction of one entry and a retry (up to
+        :data:`ENOSPC_EVICT_LIMIT` times); when nothing evictable
+        remains the cache latches *off* for stores — this call and all
+        later ones return None, loads keep serving what is already
+        cached, and a governor degradation record marks the fallback.
+        Transient write errors (EIO and friends) are retried with
+        backoff before any of that.
         """
+        if self.off:
+            return None
+        from repro.governor import gc as governor_gc
+
+        evictions = 0
+        while True:
+            try:
+                final = retry_io(
+                    "trace-cache.store", lambda: self._store_once(key, meta, arrays)
+                )
+                break
+            except OSError as error:
+                if error.errno != errno.ENOSPC:
+                    raise
+                self.stats.count("enospc")
+                evictions += 1
+                if evictions <= ENOSPC_EVICT_LIMIT and governor_gc.evict_for_enospc(
+                    self, protect={key}
+                ):
+                    continue
+                # Nothing left to evict (or we are thrashing): go
+                # cache-off for stores and record the degradation.
+                self.off = True
+                governor = active_governor()
+                if governor is not None:
+                    governor.record(
+                        "cache-off",
+                        detail=f"persistent ENOSPC storing {key[:12]}…; "
+                        "trace-cache stores disabled for this run",
+                    )
+                return None
+        self.stats.count("stores")
+        if self.disk_quota is not None:
+            governor_gc.enforce_quota(self, self.disk_quota, protect={key})
+        return final
+
+    def _store_once(
+        self, key: str, meta: Mapping[str, object], arrays: Mapping[str, np.ndarray]
+    ) -> Path:
+        """One build-and-publish attempt (the pre-governor store body)."""
         final = self.entry_dir(key)
         final.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.root / f".tmp-{key[:8]}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
         tmp.mkdir()
         try:
+            fault_point("trace-cache.store")
             specs: dict[str, dict] = {}
             for name, array in arrays.items():
                 file_name = f"{name}.npy"
@@ -309,23 +501,25 @@ class TraceCache:
                     os.rename(tmp, final)
         finally:
             shutil.rmtree(tmp, ignore_errors=True)
-        self.stats.count("stores")
         return final
 
 
 def resolve_trace_cache(
-    directory: str | None = None, environ: Mapping[str, str] | None = None
+    directory: str | None = None,
+    environ: Mapping[str, str] | None = None,
+    disk_quota: int | None = None,
 ) -> TraceCache | None:
     """Resolve the trace-cache knob: explicit flag, else environment.
 
     ``directory`` comes from ``--trace-cache DIR``; when None, the
     :data:`TRACE_CACHE_ENV` variable is consulted.  The off switch —
     any value in :data:`OFF_VALUES` — returns None, as does an unset
-    knob, so the cache is strictly opt-in.
+    knob, so the cache is strictly opt-in.  ``disk_quota`` (from
+    ``--disk-quota``) arms LRU eviction on the resolved cache.
     """
     if directory is None:
         env = os.environ if environ is None else environ
         directory = env.get(TRACE_CACHE_ENV)
     if directory is None or directory.strip().lower() in OFF_VALUES:
         return None
-    return TraceCache(directory)
+    return TraceCache(directory, disk_quota=disk_quota)
