@@ -212,3 +212,28 @@ class SamplingError(ReproError):
     checkpointing) — the sampled path replays representatives through
     the batched strict pipeline only.
     """
+
+
+class JobSpecError(ConfigurationError):
+    """A job specification was malformed or outside the platform envelope.
+
+    Raised by :mod:`repro.serve.jobspec` for unknown fields, values of
+    the wrong type, geometry outside the Dragonhead envelope, or option
+    combinations the run paths reject (for example ``sample`` together
+    with ``inject``).  A :class:`ConfigurationError` subclass so the
+    serving layer can map it to a 400 response while library callers
+    keep catching configuration mistakes with one clause.
+    """
+
+
+class ServeError(ReproError):
+    """The job server could not admit, schedule, or execute a request.
+
+    Carries an HTTP-ish status so the daemon can answer clients
+    precisely: 429 for admission-queue backpressure, 503 while
+    draining, 404 for unknown job ids.
+    """
+
+    def __init__(self, message: str, status: int = 500) -> None:
+        self.status = status
+        super().__init__(message)

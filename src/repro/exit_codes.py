@@ -1,0 +1,54 @@
+"""Process exit codes shared by every repro command-line entry point.
+
+``repro-cosim``, ``repro-runall``, ``repro-serve``, and the traffic
+harness all exit through this one table, so an operator (or a CI step)
+can tell *why* a run stopped without parsing its output.  Before this
+module several distinct failures collapsed to a generic nonzero exit:
+a sweep point that exhausted its retries escaped as a traceback (exit
+1, indistinguishable from a crash in the harness itself), while
+argument errors, audit violations, and degradation each had their own
+ad-hoc constant scattered across the CLIs.
+
+========================  =============================================
+code                      meaning
+========================  =============================================
+:data:`EXIT_OK`           the run completed
+:data:`EXIT_INTERNAL`     an unexpected internal error (a traceback —
+                          a bug in the platform, never a user mistake)
+:data:`EXIT_USAGE`        argument errors (argparse's own convention)
+:data:`EXIT_AUDIT`        a strict-mode invariant audit failed
+:data:`EXIT_DEGRADED`     ``--fail-on-degraded`` found degradation
+:data:`EXIT_SWEEP`        a sweep point (or a served batch) exhausted
+                          its retries
+:data:`EXIT_DEADLINE`     the ``--deadline`` budget expired — the
+                          ``timeout(1)`` convention
+:data:`EXIT_INTERRUPTED`  SIGINT drain — the shell's ``128 + SIGINT``
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+EXIT_OK = 0
+EXIT_INTERNAL = 1
+EXIT_USAGE = 2
+EXIT_AUDIT = 3
+EXIT_DEGRADED = 4
+EXIT_SWEEP = 5
+EXIT_DEADLINE = 124
+EXIT_INTERRUPTED = 130
+
+_NAMES = {
+    EXIT_OK: "ok",
+    EXIT_INTERNAL: "internal error",
+    EXIT_USAGE: "usage error",
+    EXIT_AUDIT: "audit violation",
+    EXIT_DEGRADED: "degraded (--fail-on-degraded)",
+    EXIT_SWEEP: "sweep point failed",
+    EXIT_DEADLINE: "deadline expired",
+    EXIT_INTERRUPTED: "interrupted",
+}
+
+
+def describe(code: int) -> str:
+    """Human name of an exit code (``"exit N"`` for unknown codes)."""
+    return _NAMES.get(code, f"exit {code}")

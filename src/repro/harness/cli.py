@@ -37,17 +37,27 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
+import sys
 from fractions import Fraction
 
 from repro.audit import AUDIT_MODES, AUDIT_OFF, resolve_audit_mode
-from repro.cache.emulator import DragonheadConfig
 from repro.core.phases import phase_summary
 from repro.errors import (
     AuditError,
     DeadlineExpired,
+    JobSpecError,
     SamplingError,
     SweepInterrupted,
     SweepPointError,
+)
+from repro.exit_codes import (
+    EXIT_AUDIT,
+    EXIT_DEADLINE,
+    EXIT_DEGRADED,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_SWEEP,
 )
 from repro.faults.report import merge_records
 from repro.faults.spec import parse_fault_spec
@@ -61,6 +71,7 @@ from repro.harness.report import (
 from repro.simpoint import parse_sample_spec, sampled_sweep
 from repro.harness.executors.base import EXECUTOR_NAMES, FabricConfig
 from repro.harness.supervisor import SupervisorPolicy, SweepJournal, supervise
+from repro.serve.jobspec import JobSpec, result_digest
 from repro.telemetry import profile as profiling
 from repro.telemetry import runtime as telemetry
 from repro.telemetry.sinks import write_prometheus
@@ -78,7 +89,27 @@ def build_parser() -> argparse.ArgumentParser:
         "SoftSDV+Dragonhead platform model.",
     )
     parser.add_argument(
-        "--workload", required=True, choices=list(WORKLOAD_NAMES), help="workload name"
+        "--workload", choices=list(WORKLOAD_NAMES), help="workload name"
+    )
+    parser.add_argument(
+        "--job",
+        metavar="FILE",
+        default=None,
+        help="read the job spec from FILE as canonical JSON ('-' reads "
+        "stdin) — the same content-keyed format repro-serve accepts; "
+        "explicit flags are rejected alongside it",
+    )
+    parser.add_argument(
+        "--print-job",
+        action="store_true",
+        help="print the run's canonical job spec (JSON) and content key "
+        "instead of running it",
+    )
+    parser.add_argument(
+        "--digest",
+        action="store_true",
+        help="print the job-result digest (SHA-256 of the pickled result "
+        "list) after the readout — byte-comparable with a served job's",
     )
     parser.add_argument("--cores", type=int, default=4, help="virtual cores (1-64)")
     parser.add_argument(
@@ -366,30 +397,63 @@ def main(argv: list[str] | None = None) -> int:
             telemetry.shutdown()
 
 
+def _resolve_spec(args: argparse.Namespace) -> JobSpec:
+    """The canonical :class:`JobSpec` this invocation describes.
+
+    Either parsed from ``--job FILE`` (the format ``repro-serve``
+    accepts over HTTP) or built from the flag namespace — both land on
+    the same validated, content-keyed model, so a flag combination and
+    its spec file run byte-identical simulations.  Malformed specs are
+    argument errors: they exit 2 through the parser, never as
+    tracebacks.
+    """
+    parser = build_parser()
+    if args.job is not None:
+        if args.workload is not None:
+            parser.error("--job and --workload are mutually exclusive")
+        try:
+            if args.job == "-":
+                raw = sys.stdin.read()
+            else:
+                with open(args.job, "r", encoding="utf-8") as handle:
+                    raw = handle.read()
+            payload = json.loads(raw)
+        except (OSError, ValueError) as error:
+            parser.error(f"--job {args.job}: {error}")
+        try:
+            return JobSpec.from_json(payload)
+        except JobSpecError as error:
+            parser.error(str(error))
+    if args.workload is None:
+        parser.error("one of --workload or --job is required")
+    try:
+        return JobSpec.from_cli_args(args)
+    except JobSpecError as error:
+        parser.error(str(error))
+
+
 def _main(args: argparse.Namespace) -> int:
     """The run itself, with telemetry configured (or left disabled)."""
-    workload = get_workload(args.workload)
-    sizes = [parse_size(token) for token in args.cache.split(",") if token.strip()]
-    configs = [
-        DragonheadConfig(cache_size=size, line_size=args.line) for size in sizes
-    ]
-    if args.source == "kernel":
-        guest = workload.kernel_guest(repeats=args.repeats)
-        key_extra = {"source": "kernel"}
-    else:
-        guest = workload.synthetic_guest(
-            accesses_per_thread=args.accesses,
-            scale=float(args.scale),
-            repeats=args.repeats,
-        )
-        key_extra = {
-            "source": "synthetic",
-            "accesses": args.accesses,
-            "scale": str(args.scale),
-        }
-    if args.repeats != 1:
-        # Only stamped when used, so existing cached captures stay valid.
-        key_extra["repeats"] = args.repeats
+    spec = _resolve_spec(args)
+    # Reporting and the sampled path read the scalar knobs off the
+    # namespace; a --job run must see the file's values there, and a
+    # flag run sees its own values round-tripped through the spec.
+    args.workload = spec.workload
+    args.cores = spec.cores
+    args.line = spec.line
+    args.quantum = spec.quantum
+    args.sample = spec.sample
+    args.inject = spec.inject
+    args.lenient = spec.lenient
+    args.audit = spec.audit
+    if args.print_job:
+        print(json.dumps(spec.to_json(), indent=2, sort_keys=True))
+        print(f"content key: {spec.content_key()}")
+        return EXIT_OK
+    workload = get_workload(spec.workload)
+    configs = spec.configs()
+    guest = spec.build_guest()
+    key_extra = spec.capture_key_extra()
     trace_cache = resolve_trace_cache(
         args.trace_cache,
         disk_quota=parse_size(args.disk_quota) if args.disk_quota else None,
@@ -404,7 +468,7 @@ def _main(args: argparse.Namespace) -> int:
     if fault_spec is not None and fault_spec.corrupt_trace and trace_cache is not None:
         from repro.faults.injector import inject_trace_corruption
 
-        key = log_cache_key(guest.name, args.cores, args.quantum, 8192, key_extra)
+        key = spec.capture_key()
         damaged = sum(
             inject_trace_corruption(trace_cache, key, fault_spec.rng("corrupt-trace", i))
             for i in range(fault_spec.corrupt_trace)
@@ -448,28 +512,33 @@ def _main(args: argparse.Namespace) -> int:
             # Checked before SweepInterrupted (its parent class): the
             # drain is identical but the exit code follows timeout(1).
             print(f"deadline: {expired}")
-            return 124
+            return EXIT_DEADLINE
         except SweepInterrupted as interrupted:
             print(f"interrupted: {interrupted}")
-            return 130
+            return EXIT_INTERRUPTED
         except AuditError as error:
             # Strict mode: a violated invariant is a wrong answer, not a
             # statistic — print what broke and fail loudly.
             print(f"audit failed: {error}")
             print(error.report.describe())
-            return 3
+            return EXIT_AUDIT
         except SweepPointError as error:
             # The supervisor wraps worker errors; an audit failure is
             # deterministic, so retries cannot save it — unwrap and report.
             if isinstance(error.cause, AuditError):
                 print(f"audit failed on point {error.point!r}: {error.cause}")
                 print(error.cause.report.describe())
-                return 3
-            raise
+                return EXIT_AUDIT
+            # Retries exhausted: a failing *point* is a documented exit
+            # of its own, distinct from a crash in the harness itself.
+            print(f"sweep point failed: {error}")
+            return EXIT_SWEEP
         finally:
             if journal is not None:
                 journal.close()
         exit_code = _report(args, workload, configs, results, trace_cache, audit_mode, fault_spec, ctx)
+        if args.digest:
+            print(f"result digest: {result_digest(results)}")
     _emit_telemetry(args, results)
     return exit_code
 
@@ -516,6 +585,8 @@ def _main_sampled(args, workload, guest, configs, key_extra, trace_cache) -> int
             log, configs, spec, trace_cache=trace_cache, log_key=log_key
         )
         exit_code = _report_sampled(args, workload, configs, results, trace_cache)
+        if args.digest:
+            print(f"result digest: {result_digest(results)}")
     _emit_telemetry(args, [])
     return exit_code
 
@@ -553,7 +624,7 @@ def _report_sampled(args, workload, configs, results, trace_cache) -> int:
                 f"  trace cache          : {trace_cache.stats.describe()} "
                 f"({trace_cache.root})"
             )
-    return 0
+    return EXIT_OK
 
 
 def _report(
@@ -627,8 +698,8 @@ def _report(
             or governor_records
         ):
             print("failing: degradation records present (--fail-on-degraded)")
-            return 4
-        return 0
+            return EXIT_DEGRADED
+        return EXIT_OK
 
 
 def _emit_telemetry(args, results) -> None:

@@ -59,7 +59,6 @@ task was not the pure function the contract requires.
 from __future__ import annotations
 
 import base64
-import hashlib
 import json
 import os
 import pickle
@@ -70,6 +69,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro.errors import ConfigurationError, FabricError
+from repro.serve.jobspec import raw_digest
 
 try:  # POSIX only; the fabric backends refuse to start without it.
     import fcntl
@@ -85,9 +85,14 @@ PICKLE_PROTOCOL = 4
 
 
 def _encode(value: Any) -> tuple[str, str]:
-    """Pickle ``value``; return (base85 text, SHA-256 of the bytes)."""
+    """Pickle ``value``; return (base85 text, SHA-256 of the bytes).
+
+    The digest comes from the shared job-spec content-key helpers, so
+    ledger byte-identity verification, journal point keys, and served
+    job-result digests all live in one key space and cannot drift.
+    """
     raw = pickle.dumps(value, protocol=PICKLE_PROTOCOL)
-    return base64.b85encode(raw).decode("ascii"), hashlib.sha256(raw).hexdigest()
+    return base64.b85encode(raw).decode("ascii"), raw_digest(raw)
 
 
 def _decode(text: str) -> Any:
@@ -506,9 +511,7 @@ class FabricLedger:
             if existing is not None:
                 theirs = existing.get("sha")
                 if theirs is None:
-                    theirs = hashlib.sha256(
-                        base64.b85decode(existing["result"])
-                    ).hexdigest()
+                    theirs = raw_digest(base64.b85decode(existing["result"]))
                 outcome = "verified" if theirs == sha else "conflict"
                 self._append_locked(
                     [

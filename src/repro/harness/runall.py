@@ -28,6 +28,13 @@ import sys
 
 from repro.audit import AUDIT_ENV, AUDIT_MODES
 from repro.errors import DeadlineExpired, SweepInterrupted, SweepPointError
+from repro.exit_codes import (
+    EXIT_DEADLINE,
+    EXIT_DEGRADED,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_SWEEP,
+)
 from repro.faults.spec import parse_fault_spec
 from repro.governor.budget import active_governor, govern
 from repro.harness import (
@@ -323,10 +330,16 @@ def _run(args: argparse.Namespace) -> int:
         # Before SweepInterrupted (its parent class): identical drain,
         # timeout(1)'s exit code.
         print(f"deadline: {expired}", file=sys.stderr)
-        return 124
+        return EXIT_DEADLINE
     except SweepInterrupted as interrupted:
         print(f"interrupted: {interrupted}", file=sys.stderr)
-        return 130
+        return EXIT_INTERRUPTED
+    except SweepPointError as error:
+        # Strict mode: a point out of retries fails the run with its
+        # own documented exit, distinct from argument errors (2) and
+        # harness crashes (1).
+        print(f"sweep point failed: {error}", file=sys.stderr)
+        return EXIT_SWEEP
     finally:
         if journal is not None:
             journal.close()
@@ -349,8 +362,8 @@ def _run(args: argparse.Namespace) -> int:
         or (governor is not None and governor.records)
     ):
         print("failing: degraded exhibits or points present (--fail-on-degraded)")
-        return 4
-    return 0
+        return EXIT_DEGRADED
+    return EXIT_OK
 
 
 def _emit_telemetry(args: argparse.Namespace) -> None:

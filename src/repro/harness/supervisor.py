@@ -38,7 +38,6 @@ without threading new parameters through their signatures.
 from __future__ import annotations
 
 import base64
-import hashlib
 import json
 import os
 import pickle
@@ -64,6 +63,7 @@ from repro.governor.retry import retry_io
 from repro.harness.executors.base import FabricConfig, SubmittedPoint
 from repro.harness.executors.local import LocalPoolExecutor, terminate_pool
 from repro.harness.parallel import resolve_jobs
+from repro.serve.jobspec import CanonicalSet, canonicalize, point_content_key
 from repro.telemetry import runtime as telemetry
 
 #: Journal schema version (header line of every journal file).  v2
@@ -77,50 +77,12 @@ JOURNAL_FORMAT = 3
 
 _UNSET = object()
 
-
-class _CanonicalSet(tuple):
-    """Marker wrapper for a set canonicalized to an ordered tuple.
-
-    A distinct type keeps a canonicalized set from colliding with a
-    genuine tuple of the same members in the key space.
-    """
-
-    __slots__ = ()
-
-
-def _canonical(value: Any) -> Any:
-    """Rebuild ``value`` with deterministic container ordering.
-
-    Pickle serializes dicts and sets in iteration order, so two equal
-    items built in different orders pickle to different bytes and get
-    different journal keys.  Dicts are rebuilt with entries sorted by
-    their pickled keys (a total, content-stable order — ``repr`` ties
-    or cross-type ``<`` comparisons are not), sets become sorted
-    :class:`_CanonicalSet` tuples, and lists/tuples/namedtuples recurse
-    elementwise.  Items without dicts or sets are returned structurally
-    identical, so their keys — and existing journals holding them —
-    are unchanged.
-    """
-    if isinstance(value, dict):
-        pairs = [(key, _canonical(item)) for key, item in value.items()]
-        pairs.sort(key=lambda pair: pickle.dumps(pair[0], protocol=4))
-        return dict(pairs)
-    if isinstance(value, (set, frozenset)):
-        members = sorted(
-            (_canonical(member) for member in value),
-            key=lambda member: pickle.dumps(member, protocol=4),
-        )
-        return _CanonicalSet(members)
-    if isinstance(value, list):
-        return [_canonical(item) for item in value]
-    if isinstance(value, tuple):
-        items = tuple(_canonical(item) for item in value)
-        if type(value) is tuple:
-            return items
-        if hasattr(value, "_fields"):  # namedtuple: rebuild same type
-            return type(value)(*items)
-        return value  # unknown tuple subclass: leave untouched
-    return value
+# Canonicalization lives with the job-spec content-key helpers now
+# (:mod:`repro.serve.jobspec`), shared with the fabric ledger and the
+# server's dedup map so the three key spaces can never drift; the old
+# private names stay importable for callers that grew around them.
+_CanonicalSet = CanonicalSet
+_canonical = canonicalize
 
 
 @dataclass(frozen=True)
@@ -263,9 +225,7 @@ class SweepJournal:
         — the same grid point — would otherwise hash to different keys
         and ``--resume`` would re-run completed work.
         """
-        identity = f"{task.__module__}.{task.__qualname__}".encode("utf-8")
-        payload = pickle.dumps(_canonical(item), protocol=4)
-        return hashlib.sha256(identity + b"\x1f" + payload).hexdigest()
+        return point_content_key(f"{task.__module__}.{task.__qualname__}", item)
 
     def __contains__(self, key: str) -> bool:
         return key in self.entries

@@ -1,0 +1,6 @@
+"""``python -m repro.serve`` — the repro-serve daemon."""
+
+from repro.serve.daemon import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,116 @@
+"""A zero-dependency client for the ``repro-serve`` HTTP API.
+
+Used by the traffic-replay harness, the test suite, and the CI smoke —
+thin wrappers over :mod:`http.client` that speak the daemon's JSON
+bodies and raise :class:`~repro.errors.ServeError` with the server's
+own status code on any non-2xx reply, so callers branch on ``.status``
+(429 backpressure, 503 draining, 400 bad spec) instead of parsing
+error strings.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Mapping
+
+from repro.errors import ServeError
+
+
+class ServeClient:
+    """One daemon endpoint; a fresh connection per call (thread-safe)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, body: Any = None) -> Any:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                message = f"HTTP {response.status}"
+                try:
+                    message = json.loads(raw.decode("utf-8"))["error"]
+                except (ValueError, KeyError, UnicodeDecodeError):
+                    pass
+                raise ServeError(message, status=response.status)
+            if not raw:
+                return None
+            content_type = response.getheader("Content-Type", "")
+            if content_type.startswith("text/plain"):
+                return raw.decode("utf-8")
+            return json.loads(raw.decode("utf-8"))
+        except (OSError, http.client.HTTPException) as error:
+            raise ServeError(f"server unreachable: {error}", status=502) from error
+        finally:
+            connection.close()
+
+    # -- API ----------------------------------------------------------
+
+    def submit(
+        self,
+        spec: Mapping[str, Any],
+        mode: str = "batch",
+        priority: int = 0,
+    ) -> dict[str, Any]:
+        return self._request(
+            "POST",
+            "/v1/jobs",
+            {"spec": dict(spec), "mode": mode, "priority": priority},
+        )
+
+    def job(self, job_id: str, wait: float = 0.0) -> dict[str, Any]:
+        path = f"/v1/jobs/{job_id}"
+        if wait > 0:
+            path += f"?wait={wait:g}"
+        return self._request("GET", path)
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> dict[str, Any]:
+        """Long-poll until the job leaves the queue/run states."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeError(f"timed out waiting for {job_id}", status=504)
+            payload = self.job(job_id, wait=min(remaining, 30.0))
+            if payload["state"] in ("done", "failed", "cancelled"):
+                return payload
+
+    def windows(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}/windows")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def metrics(self) -> str:
+        return self._request("GET", "/v1/metrics")
+
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def drain(self) -> dict[str, Any]:
+        return self._request("POST", "/v1/drain")
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        """Poll ``/v1/healthz`` until the daemon answers (or time out)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.healthz()
+                return
+            except ServeError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
